@@ -1,0 +1,219 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact via
+// internal/experiments and prints the rows/series the paper reports
+// (first iteration only), plus key scalars as benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The numeric pipeline defaults to the quick profile; set MOBILSTM_FULL=1
+// to evaluate at the exact Table II shapes.
+package mobilstm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mobilstm/internal/experiments"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/kernels"
+	"mobilstm/internal/sched"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite shares one experiment suite (and its outcome cache) across
+// all benchmarks in the run.
+func benchSuite() *experiments.Suite {
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.DefaultConfig())
+	})
+	return suite
+}
+
+func BenchmarkTableI_Platform(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.TableI()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTableII_Benchmarks(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.TableII()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig4_StallBreakdown(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.Fig4()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig5_RedundantLoads(b *testing.B) {
+	s := benchSuite()
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		factor = s.RedundantLoadFactor("PTB")
+		if i == 0 {
+			b.Log("\n" + s.Fig5().String())
+		}
+	}
+	b.ReportMetric(factor, "ptb-blowup-x")
+}
+
+func BenchmarkFig6_BandwidthUtilization(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.Fig6()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig9_TissueSize(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		perf, util, mts := s.Fig9(10)
+		if i == 0 {
+			b.Log("\n" + perf.String() + "\n" + util.String() + fmt.Sprintf("\nmeasured MTS: %v", mts))
+			b.ReportMetric(float64(mts["PTB"]), "ptb-mts")
+		}
+	}
+}
+
+func BenchmarkFig14_SpeedupEnergy(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, t := s.Fig14()
+		if i == 0 {
+			b.Log("\n" + t.String())
+			avg := experiments.AverageOf(rows)
+			b.ReportMetric(avg.Inter, "inter-x")
+			b.ReportMetric(avg.Intra, "intra-x")
+			b.ReportMetric(avg.Combined, "combined-x")
+			b.ReportMetric(avg.CombinedSaving*100, "combined-E%")
+		}
+	}
+}
+
+func BenchmarkFig15_PerLayer(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.Fig15()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig16_CompressionSchemes(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, t := s.Fig16()
+		if i == 0 {
+			b.Log("\n" + t.String())
+			avg := rows[len(rows)-1]
+			b.ReportMetric(avg.HWSpeedup, "hw-drs-x")
+			b.ReportMetric(avg.SWSpeedup, "sw-drs-x")
+			b.ReportMetric(avg.PruneSpeedup, "zero-prune-x")
+		}
+	}
+}
+
+func BenchmarkFig17_ModelCapacity(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		fig := s.Fig17()
+		if i == 0 {
+			b.Log("\n" + fig.String())
+		}
+	}
+}
+
+func BenchmarkFig18_UserStudy(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.Fig18()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig19_TradeoffSweep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		speed, acc, marks := s.Fig19()
+		if i == 0 {
+			b.Log("\n" + speed.String() + "\n" + acc.String() + "\n" + marks.String())
+		}
+	}
+}
+
+func BenchmarkOverheads(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.Overheads()
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkKernelSgemv measures the simulator's kernel evaluation
+// throughput itself (microbenchmark of the substrate, not a paper
+// figure).
+func BenchmarkKernelSgemv(b *testing.B) {
+	cfg := gpu.TegraX1()
+	sim := gpu.NewSimulator(cfg)
+	kb := kernels.NewBuilder(cfg)
+	spec := kb.SgemvU(650)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run([]gpu.KernelSpec{spec})
+	}
+}
+
+// BenchmarkTissueAlignment measures the alignment scheduler on a
+// PTB-sized layer.
+func BenchmarkTissueAlignment(b *testing.B) {
+	subs := intercell.Sublayers(200, []int{7, 30, 31, 60, 95, 120, 121, 122, 170})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		intercell.AlignTissues(subs, 5)
+	}
+}
+
+// BenchmarkPlanLowering measures kernel-sequence generation for the
+// combined flow at PTB shape.
+func BenchmarkPlanLowering(b *testing.B) {
+	p := sched.Plan{
+		Cfg: gpu.TegraX1(), Mode: sched.Combined,
+		Hidden: 650, Input: 650, Length: 200, Layers: 3, MTS: 5,
+		Stats: []sched.LayerStats{{BreakRate: 0.25, SkipFrac: 0.5},
+			{BreakRate: 0.1, SkipFrac: 0.5}, {BreakRate: 0.05, SkipFrac: 0.5}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Kernels(p)
+	}
+}

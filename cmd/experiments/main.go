@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§VI) and prints them as text. Select a subset with
+// -only (comma-separated ids: table1,table2,fig4,fig5,fig6,fig9,fig14,
+// fig15,fig16,fig17,fig18,fig19,overheads).
+//
+// Accuracy-bearing experiments default to the quick profile; set
+// MOBILSTM_FULL=1 for the exact Table II shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mobilstm/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	maxT := flag.Int("maxt", 10, "largest tissue size for the Fig. 9 sweep")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	s := experiments.NewSuite(experiments.DefaultConfig())
+	start := time.Now()
+
+	if sel("table1") {
+		fmt.Println(s.TableI())
+	}
+	if sel("table2") {
+		fmt.Println(s.TableII())
+	}
+	if sel("fig4") {
+		fmt.Println(s.Fig4())
+	}
+	if sel("fig5") {
+		fmt.Println(s.Fig5())
+	}
+	if sel("fig6") {
+		fmt.Println(s.Fig6())
+	}
+	if sel("fig9") {
+		perf, util, mts := s.Fig9(*maxT)
+		fmt.Println(perf)
+		fmt.Println(util)
+		fmt.Println("measured MTS per benchmark:", mts)
+		fmt.Println()
+	}
+	if sel("fig14") {
+		_, t := s.Fig14()
+		fmt.Println(t)
+	}
+	if sel("fig15") {
+		fmt.Println(s.Fig15())
+	}
+	if sel("fig16") {
+		_, t := s.Fig16()
+		fmt.Println(t)
+	}
+	if sel("fig17") {
+		fmt.Println(s.Fig17())
+	}
+	if sel("fig18") {
+		fmt.Println(s.Fig18())
+	}
+	if sel("fig19") {
+		speed, acc, marks := s.Fig19()
+		fmt.Println(speed)
+		fmt.Println(acc)
+		fmt.Println(marks)
+	}
+	if sel("overheads") {
+		fmt.Println(s.Overheads())
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

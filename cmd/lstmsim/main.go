@@ -1,0 +1,187 @@
+// Command lstmsim runs one Table II benchmark on the simulated mobile GPU
+// under a chosen execution mode and threshold set, and prints latency,
+// traffic, energy and accuracy. It is the quickest way to poke at the
+// system:
+//
+//	lstmsim -bench PTB -mode combined -set 7
+//	lstmsim -bench MR -mode baseline -kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mobilstm/internal/core"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/model"
+	"mobilstm/internal/report"
+	"mobilstm/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lstmsim: ")
+	bench := flag.String("bench", "PTB", "benchmark name (see -list)")
+	mode := flag.String("mode", "combined", "baseline | inter | intra | combined | intra-sw | zero-prune")
+	set := flag.Int("set", 7, "threshold set 0..10")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	showKernels := flag.Bool("kernels", false, "print the per-kernel-group breakdown")
+	showTimeline := flag.Bool("timeline", false, "print the kernel execution timeline")
+	full := flag.Bool("full", false, "use full Table II shapes for the numeric pipeline")
+	savePlan := flag.String("save-plan", "", "write the profiled execution plan to this JSON file")
+	loadPlan := flag.String("load-plan", "", "replay a previously saved plan instead of profiling")
+	flag.Parse()
+
+	if *loadPlan != "" {
+		replayPlan(*loadPlan, *showKernels)
+		return
+	}
+
+	if *list {
+		t := report.NewTable("Benchmarks", "Name", "Task", "Hidden", "Layers", "Length")
+		for _, b := range model.Zoo() {
+			t.AddRow(b.Name, string(b.Task), b.Hidden, b.Layers, b.Length)
+		}
+		fmt.Println(t)
+		return
+	}
+
+	b, ok := model.ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (use -list)", *bench)
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := model.Quick()
+	if *full {
+		prof = model.Full()
+	}
+
+	e := core.NewEngine(b, prof, gpu.TegraX1())
+	var o *core.Outcome
+	if m == sched.ZeroPrune {
+		o = e.EvaluateZeroPrune(0.315)
+	} else {
+		ai, aa := e.Thresholds(*set)
+		if m == sched.Baseline {
+			o = e.Baseline()
+		} else {
+			o = e.Evaluate(m, ai, aa)
+		}
+	}
+
+	fmt.Printf("benchmark   %s (hidden %d, %d layers, %d cells)\n", b.Name, b.Hidden, b.Layers, b.Length)
+	fmt.Printf("platform    %s\n", gpu.TegraX1().Name)
+	fmt.Printf("mode        %v, threshold set %d, MTS %d\n", m, *set, e.MTS)
+	fmt.Printf("latency     %.2f ms\n", o.Result.Seconds*1e3)
+	fmt.Printf("speedup     %.2fx vs baseline\n", o.Speedup)
+	fmt.Printf("energy      %.2f mJ (saving %.1f%%)\n", o.Energy.Total()*1e3, o.EnergySaving*100)
+	fmt.Printf("DRAM        %.1f MB moved\n", o.Result.DRAMBytes/(1<<20))
+	fmt.Printf("accuracy    %.1f%% (relative to exact flow)\n", o.Accuracy*100)
+
+	if *savePlan != "" {
+		p := sched.Plan{
+			Cfg: gpu.TegraX1(), Mode: m,
+			Hidden: b.Hidden, Input: b.Hidden, Length: b.Length, Layers: b.Layers,
+			MTS: e.MTS, Stats: o.Stats, PruneDensity: o.PruneDensity,
+			Seed: b.Seed ^ 0xfeed,
+		}
+		if p.Stats == nil {
+			p.Stats = make([]sched.LayerStats, b.Layers)
+		}
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.SavePlan(f, p); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan        written to %s\n", *savePlan)
+	}
+
+	if *showKernels {
+		t := report.NewTable("\nPer-kernel groups", "Kernel", "Launches", "Cycles", "Share", "DRAM MB")
+		for _, g := range o.Result.Groups() {
+			t.AddRowf(g.Name, fmt.Sprintf("%d", g.Launches),
+				fmt.Sprintf("%.0f", g.Cycles),
+				report.Pct(g.Cycles/o.Result.Cycles),
+				fmt.Sprintf("%.1f", g.DRAMBytes/(1<<20)))
+		}
+		fmt.Println(t)
+	}
+
+	if *showTimeline {
+		// Re-simulate with per-launch results for the timeline view.
+		p := sched.Plan{
+			Cfg: gpu.TegraX1(), Mode: m,
+			Hidden: b.Hidden, Input: b.Hidden, Length: b.Length, Layers: b.Layers,
+			MTS: e.MTS, Stats: o.Stats, PruneDensity: o.PruneDensity,
+			Seed: b.Seed ^ 0xfeed,
+		}
+		if p.Stats == nil {
+			p.Stats = make([]sched.LayerStats, b.Layers)
+		}
+		sim := gpu.NewSimulator(p.Cfg)
+		_, launches := sim.RunResults(sched.Kernels(p))
+		tl := report.NewTimeline("\nkernel execution timeline")
+		for _, kr := range launches {
+			tl.Add(kr.Spec.Name, kr.Cycles)
+		}
+		fmt.Println(tl)
+	}
+}
+
+// replayPlan loads a saved execution plan and simulates it — the
+// DeepBench-style replay half of the paper's methodology (Fig. 13).
+func replayPlan(path string, showKernels bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	p, err := sched.LoadPlan(f, gpu.TegraX1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := gpu.NewSimulator(p.Cfg)
+	res := sim.Run(sched.Kernels(p))
+	fmt.Printf("replayed    %s (%v, H=%d, %d layers, %d cells)\n",
+		path, p.Mode, p.Hidden, p.Layers, p.Length)
+	fmt.Printf("latency     %.2f ms\n", res.Seconds*1e3)
+	fmt.Printf("DRAM        %.1f MB moved\n", res.DRAMBytes/(1<<20))
+	if showKernels {
+		t := report.NewTable("\nPer-kernel groups", "Kernel", "Launches", "Cycles", "Share")
+		for _, g := range res.Groups() {
+			t.AddRowf(g.Name, fmt.Sprintf("%d", g.Launches),
+				fmt.Sprintf("%.0f", g.Cycles), report.Pct(g.Cycles/res.Cycles))
+		}
+		fmt.Println(t)
+	}
+}
+
+func parseMode(s string) (sched.Mode, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return sched.Baseline, nil
+	case "inter", "inter-cell":
+		return sched.Inter, nil
+	case "intra", "intra-cell":
+		return sched.Intra, nil
+	case "combined":
+		return sched.Combined, nil
+	case "intra-sw", "sw":
+		return sched.IntraSW, nil
+	case "zero-prune", "prune":
+		return sched.ZeroPrune, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}

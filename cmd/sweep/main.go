@@ -1,0 +1,58 @@
+// Command sweep is a development and calibration tool: it sweeps over all six benchmarks,
+// printing speedup/energy/accuracy per threshold set for calibration.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mobilstm/internal/core"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/model"
+	"mobilstm/internal/sched"
+)
+
+func main() {
+	cfg := gpu.TegraX1()
+	names := []string{"IMDB", "MR", "BABI", "SNLI", "PTB", "MT"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	for _, name := range names {
+		bm, ok := model.ByName(name)
+		if !ok {
+			fmt.Println("unknown benchmark", name)
+			continue
+		}
+		start := time.Now()
+		e := core.NewEngine(bm, model.Quick(), cfg)
+		fmt.Printf("\n== %s == MTS=%d alphaInterMax=%.1f (%.2f of maxRel) build %v\n",
+			name, e.MTS, e.AlphaInterMax, e.AlphaInterMax/(16*float64(e.Inst.Hidden)), time.Since(start))
+		for _, set := range []int{2, 4, 5, 6, 7, 8, 10} {
+			ai, aa := e.Thresholds(set)
+			for _, mode := range []sched.Mode{sched.Inter, sched.Intra, sched.Combined} {
+				o := e.Evaluate(mode, ai, aa)
+				fmt.Printf("set %2d %-10v speedup %.2f energy %5.1f%% acc %.3f  break=%v skip=%v\n",
+					set, mode, o.Speedup, o.EnergySaving*100, o.Accuracy,
+					fmtStats(o.Stats, true), fmtStats(o.Stats, false))
+			}
+		}
+		fmt.Println("elapsed:", time.Since(start))
+	}
+}
+
+func fmtStats(st []sched.LayerStats, breaks bool) string {
+	s := "["
+	for i, l := range st {
+		if i > 0 {
+			s += " "
+		}
+		if breaks {
+			s += fmt.Sprintf("%.2f", l.BreakRate)
+		} else {
+			s += fmt.Sprintf("%.2f", l.SkipFrac)
+		}
+	}
+	return s + "]"
+}

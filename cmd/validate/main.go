@@ -1,0 +1,42 @@
+// Command validate cross-checks the fast analytic GPU timing model
+// against the cycle-level warp simulator on the paper's kernel shapes —
+// the reproduction's substitute for validating against the Jetson board.
+package main
+
+import (
+	"fmt"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/gpu/cyclesim"
+	"mobilstm/internal/kernels"
+	"mobilstm/internal/model"
+	"mobilstm/internal/report"
+)
+
+func main() {
+	cfg := gpu.TegraX1()
+	sim := gpu.NewSimulator(cfg)
+	kb := kernels.NewBuilder(cfg)
+
+	t := report.NewTable("Analytic roofline model vs cycle-level warp simulator",
+		"Kernel", "analytic cyc", "cycle-level cyc", "delta")
+	add := func(name string, spec gpu.KernelSpec) {
+		a := sim.Run([]gpu.KernelSpec{spec}).Cycles
+		c := float64(cyclesim.SimulateSpec(cfg, spec).Cycles)
+		t.AddRowf(name, fmt.Sprintf("%.0f", a), fmt.Sprintf("%.0f", c),
+			fmt.Sprintf("%+.1f%%", (c-a)/a*100))
+	}
+
+	for _, b := range model.Zoo() {
+		add(fmt.Sprintf("sgemv_u %s (H=%d)", b.Name, b.Hidden), kb.SgemvU(b.Hidden))
+	}
+	for _, tt := range []int{2, 4, 5} {
+		spec, _ := kb.SgemmTissue(512, tt)
+		add(fmt.Sprintf("sgemm_tissue H=512 T=%d", tt), spec)
+	}
+	add("sgemv_uo H=650", kb.SgemvUo(650))
+	add("ufic hw-skip 50% H=650", kb.SgemvUfic(650, 3*650/2, kernels.DRSHardware))
+	add("ufic sw-skip 50% H=650", kb.SgemvUfic(650, 3*650/2, kernels.DRSSoftware))
+	add("csr prune d=0.315 H=650", kb.PrunedSgemv(650, 0.315))
+	fmt.Println(t)
+}

@@ -1,0 +1,44 @@
+package mobilstm_test
+
+import (
+	"fmt"
+
+	"mobilstm"
+)
+
+// Open a Table II benchmark on the simulated Tegra X1 and inspect the
+// platform calibration.
+func ExampleOpen() {
+	sys, err := mobilstm.Open("MR", mobilstm.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Name(), "MTS:", sys.MTS())
+	// Output: MR MTS: 5
+}
+
+// The exact baseline is always threshold set 0: no approximation, no
+// speedup.
+func ExampleSystem_Evaluate() {
+	sys, err := mobilstm.Open("MR", mobilstm.Options{})
+	if err != nil {
+		panic(err)
+	}
+	o := sys.Evaluate(mobilstm.ModeBaseline, 0)
+	fmt.Printf("%.2fx at %.0f%% accuracy\n", o.Speedup, o.Accuracy*100)
+	// Output: 1.00x at 100% accuracy
+}
+
+// List the six NLP applications of the paper's Table II.
+func ExampleBenchmarks() {
+	for _, b := range mobilstm.Benchmarks() {
+		fmt.Printf("%s: %d hidden, %d layers, %d cells\n", b.Name, b.Hidden, b.Layers, b.Length)
+	}
+	// Output:
+	// IMDB: 512 hidden, 3 layers, 80 cells
+	// MR: 256 hidden, 1 layers, 22 cells
+	// BABI: 256 hidden, 3 layers, 86 cells
+	// SNLI: 300 hidden, 2 layers, 100 cells
+	// PTB: 650 hidden, 3 layers, 200 cells
+	// MT: 500 hidden, 4 layers, 50 cells
+}

@@ -1,0 +1,38 @@
+// Keyword spotting with a GRU: the paper's §II-B note implemented — the
+// same memory-friendly techniques applied to a GRU network, where the
+// update gate replaces the output gate as the DRS trigger and skipped
+// candidate rows carry the previous state instead of zeroing it.
+//
+//	go run ./examples/keyword
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilstm"
+)
+
+func main() {
+	sys, err := mobilstm.OpenGRU("KWS-GRU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("always-on keyword spotting (%s), simulated Tegra X1, MTS %d\n\n",
+		sys.Name(), sys.MTS())
+
+	fmt.Println("set   speedup   accuracy   carry-skipped   links cut")
+	for _, set := range []int{0, 2, 4, 6, 8, 10} {
+		o := sys.Evaluate(set)
+		fmt.Printf("%3d    %5.2fx    %6.1f%%         %4.0f%%       %4.0f%%\n",
+			o.Set, o.Speedup, o.Accuracy*100, o.SkipFraction*100, o.BreakRate*100)
+	}
+
+	ao := sys.AO()
+	fmt.Printf("\nAO point: set %d — %.2fx at %.1f%% accuracy\n", ao.Set, ao.Speedup, ao.Accuracy*100)
+	fmt.Println()
+	fmt.Println("Unlike the LSTM's DRS, only the candidate third of the united")
+	fmt.Println("GRU matrix is skippable, and carry-pinned units can never have")
+	fmt.Println("their context link cut — the GRU trades a lower ceiling for a")
+	fmt.Println("gentler skip (carry instead of zero).")
+}

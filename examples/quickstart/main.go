@@ -1,0 +1,36 @@
+// Quickstart: load one of the paper's NLP benchmarks on the simulated
+// mobile GPU, run the baseline cuDNN-style flow and the memory-friendly
+// combined flow, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilstm"
+)
+
+func main() {
+	// BABI: the bAbI question-answering task — 256 hidden units, 3 LSTM
+	// layers, 86 cells per layer (Table II of the paper).
+	sys, err := mobilstm.Open("BABI", mobilstm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (maximum tissue size on this GPU: %d)\n\n", sys.Name(), sys.MTS())
+
+	base := sys.Evaluate(mobilstm.ModeBaseline, 0)
+	fmt.Printf("baseline   : %6.2f ms, %5.1f MB DRAM traffic\n",
+		base.Milliseconds, base.DRAMBytes/(1<<20))
+
+	// The accuracy-oriented point: the most aggressive thresholds whose
+	// accuracy loss stays within the user-imperceptible 2%.
+	ao := sys.AO(mobilstm.ModeCombined)
+	fmt.Printf("combined AO: %6.2f ms, %5.1f MB DRAM traffic\n",
+		ao.Milliseconds, ao.DRAMBytes/(1<<20))
+	fmt.Printf("\n=> %.2fx speedup, %.1f%% energy saving, %.1f%% accuracy (threshold set %d)\n",
+		ao.Speedup, ao.EnergySaving*100, ao.Accuracy*100, ao.Set)
+}

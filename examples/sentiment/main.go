@@ -1,0 +1,43 @@
+// Sentiment classification (the paper's IMDB workload): compare all
+// execution modes at the accuracy-oriented operating point and print the
+// full performance-accuracy trade-off curve of the combined system —
+// the per-application view of the paper's Fig. 14 and Fig. 19.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilstm"
+)
+
+func main() {
+	sys, err := mobilstm.Open("IMDB", mobilstm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IMDB sentiment classification on a simulated Tegra X1\n\n")
+
+	// Fig. 14 view: each optimization level at its accuracy-oriented
+	// point (98% accuracy requirement).
+	fmt.Println("mode         speedup   energy saving   accuracy")
+	for _, mode := range []mobilstm.Mode{
+		mobilstm.ModeInter, mobilstm.ModeIntra, mobilstm.ModeCombined,
+	} {
+		o := sys.AO(mode)
+		fmt.Printf("%-12s  %5.2fx        %5.1f%%     %6.1f%%\n",
+			mode, o.Speedup, o.EnergySaving*100, o.Accuracy*100)
+	}
+
+	// Fig. 19 view: the whole tuning space of the combined system.
+	fmt.Println("\nthreshold set   speedup   accuracy")
+	for _, o := range sys.Curve(mobilstm.ModeCombined) {
+		bar := ""
+		for i := 0.0; i < o.Speedup; i += 0.25 {
+			bar += "#"
+		}
+		fmt.Printf("set %2d          %5.2fx   %6.1f%%   %s\n", o.Set, o.Speedup, o.Accuracy*100, bar)
+	}
+}

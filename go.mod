@@ -1,0 +1,3 @@
+module mobilstm
+
+go 1.23

@@ -1,0 +1,86 @@
+package mobilstm
+
+import (
+	"fmt"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/gru"
+)
+
+// GRUBenchmark describes one of the built-in GRU workloads (§II-B
+// extension: the paper's optimizations applied to GRUs).
+type GRUBenchmark struct {
+	Name    string
+	Hidden  int
+	Layers  int
+	Length  int
+	Classes int
+}
+
+// GRUBenchmarks lists the built-in GRU workloads.
+func GRUBenchmarks() []GRUBenchmark {
+	out := make([]GRUBenchmark, 0, 3)
+	for _, b := range gru.Zoo() {
+		out = append(out, GRUBenchmark{
+			Name: b.Name, Hidden: b.Hidden, Layers: b.Layers,
+			Length: b.Length, Classes: b.Classes,
+		})
+	}
+	return out
+}
+
+// GRUSystem is a GRU benchmark loaded on the simulated platform with the
+// paper's optimizations adjusted for the GRU cell: tissue parallelism
+// over weak context links, and carry-based Dynamic Row Skip on the
+// candidate matrix.
+type GRUSystem struct {
+	engine *gru.Engine
+}
+
+// OpenGRU builds the named GRU benchmark (see GRUBenchmarks) on the
+// simulated Tegra X1.
+func OpenGRU(benchmark string) (*GRUSystem, error) {
+	b, ok := gru.ZooByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("mobilstm: unknown GRU benchmark %q", benchmark)
+	}
+	return &GRUSystem{engine: gru.NewEngine(b, gru.QuickProfile(), gpu.TegraX1())}, nil
+}
+
+// Name returns the benchmark name.
+func (s *GRUSystem) Name() string { return s.engine.B.Name }
+
+// MTS returns the platform's maximum tissue size for this GRU benchmark.
+func (s *GRUSystem) MTS() int { return s.engine.MTS }
+
+// GRUOutcome is one evaluated GRU operating point.
+type GRUOutcome struct {
+	Set      int
+	Speedup  float64
+	Accuracy float64
+	// SkipFraction is the share of candidate (U_h) rows carry-skipped.
+	SkipFraction float64
+	// BreakRate is the fraction of context links cut.
+	BreakRate float64
+}
+
+// Evaluate measures the combined adjusted optimizations at threshold set
+// 0..10.
+func (s *GRUSystem) Evaluate(set int) GRUOutcome {
+	o := s.engine.Evaluate(set)
+	return GRUOutcome{
+		Set: o.Set, Speedup: o.Speedup, Accuracy: o.Accuracy,
+		SkipFraction: o.SkipFrac, BreakRate: o.BreakRate,
+	}
+}
+
+// AO returns the accuracy-oriented GRU operating point (loss <= 2%).
+func (s *GRUSystem) AO() GRUOutcome {
+	best := s.Evaluate(0)
+	for set := 1; set <= 10; set++ {
+		if o := s.Evaluate(set); o.Accuracy >= 0.98 {
+			best = o
+		}
+	}
+	return best
+}

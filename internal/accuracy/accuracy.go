@@ -1,0 +1,69 @@
+// Package accuracy scores approximated LSTM executions against the
+// full-precision reference. The metric is relative output accuracy —
+// the fraction of inputs whose classification matches the exact flow —
+// which is exactly the quantity the paper's "user preferred accuracy"
+// thresholds (98% = 2% user-imperceptible loss) constrain.
+package accuracy
+
+import (
+	"runtime"
+	"sync"
+
+	"mobilstm/internal/lstm"
+	"mobilstm/internal/tensor"
+)
+
+// Score runs the network on every sequence under the given options and
+// returns the fraction of outputs matching the reference labels.
+// Sequences are evaluated in parallel.
+func Score(net *lstm.Network, seqs [][]tensor.Vector, refs []int, opt lstm.RunOptions) float64 {
+	if len(seqs) == 0 {
+		return 1
+	}
+	if len(seqs) != len(refs) {
+		panic("accuracy: sequence/reference length mismatch")
+	}
+	match := make([]bool, len(seqs))
+	parallelFor(len(seqs), func(i int) {
+		o := opt
+		o.Trace = nil // traces are per-goroutine state; scoring never needs them
+		match[i] = net.Classify(seqs[i], o) == refs[i]
+	})
+	n := 0
+	for _, m := range match {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(seqs))
+}
+
+// parallelFor runs f(0..n-1) across GOMAXPROCS workers.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

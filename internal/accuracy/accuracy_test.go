@@ -1,0 +1,117 @@
+package accuracy
+
+import (
+	"runtime"
+	"testing"
+
+	"mobilstm/internal/lstm"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+func buildNet(seed uint64) (*lstm.Network, [][]tensor.Vector, []int) {
+	n := lstm.NewNetwork(16, 16, 1, 3)
+	n.InitRandom(rng.New(seed), nil, 0.5)
+	r := rng.New(seed + 1)
+	seqs := make([][]tensor.Vector, 12)
+	refs := make([]int, 12)
+	for i := range seqs {
+		xs := make([]tensor.Vector, 8)
+		for t := range xs {
+			v := tensor.NewVector(16)
+			for j := range v {
+				v[j] = r.NormF32(0, 1.5)
+			}
+			xs[t] = v
+		}
+		seqs[i] = xs
+		refs[i] = n.Classify(xs, lstm.Baseline())
+	}
+	return n, seqs, refs
+}
+
+func TestBaselineScoresPerfect(t *testing.T) {
+	n, seqs, refs := buildNet(1)
+	if s := Score(n, seqs, refs, lstm.Baseline()); s != 1 {
+		t.Fatalf("baseline score %v", s)
+	}
+}
+
+func TestAggressiveSkipLowersScore(t *testing.T) {
+	n, seqs, refs := buildNet(2)
+	s := Score(n, seqs, refs, lstm.RunOptions{Intra: true, AlphaIntra: 2})
+	// Skipping everything collapses outputs to the head bias; with 3
+	// classes almost all labels flip.
+	if s > 0.7 {
+		t.Fatalf("total skip still scores %v", s)
+	}
+}
+
+func TestScoreEmptyInputs(t *testing.T) {
+	n, _, _ := buildNet(3)
+	if s := Score(n, nil, nil, lstm.Baseline()); s != 1 {
+		t.Fatalf("empty corpus score %v", s)
+	}
+}
+
+func TestScoreMismatchedPanics(t *testing.T) {
+	n, seqs, _ := buildNet(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Score(n, seqs, []int{1}, lstm.Baseline())
+}
+
+func TestScoreDeterministicUnderParallelism(t *testing.T) {
+	n, seqs, refs := buildNet(5)
+	opt := lstm.RunOptions{Intra: true, AlphaIntra: 0.2}
+	a := Score(n, seqs, refs, opt)
+	b := Score(n, seqs, refs, opt)
+	if a != b {
+		t.Fatalf("parallel scoring not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestScoreIgnoresCallerTrace(t *testing.T) {
+	// A caller-supplied trace must not be shared across goroutines; the
+	// scorer strips it.
+	n, seqs, refs := buildNet(6)
+	tr := &lstm.Trace{}
+	Score(n, seqs, refs, lstm.RunOptions{Intra: true, AlphaIntra: 0.1, Trace: tr})
+	if len(tr.Layers) != 0 {
+		t.Fatal("trace was populated during scoring")
+	}
+}
+
+func TestScoreSequentialPath(t *testing.T) {
+	// Force the single-worker path of the parallel scorer.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	n, seqs, refs := buildNet(7)
+	if s := Score(n, seqs, refs, lstm.Baseline()); s != 1 {
+		t.Fatalf("sequential score %v", s)
+	}
+}
+
+func TestScoreSingleSample(t *testing.T) {
+	n, seqs, refs := buildNet(8)
+	if s := Score(n, seqs[:1], refs[:1], lstm.Baseline()); s != 1 {
+		t.Fatalf("single-sample score %v", s)
+	}
+}
+
+func TestScoreParallelPath(t *testing.T) {
+	// Force the multi-worker path even on single-CPU machines.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	n, seqs, refs := buildNet(9)
+	opt := lstm.RunOptions{Intra: true, AlphaIntra: 0.2}
+	a := Score(n, seqs, refs, opt)
+	runtime.GOMAXPROCS(1)
+	b := Score(n, seqs, refs, opt)
+	if a != b {
+		t.Fatalf("parallel and sequential scoring disagree: %v vs %v", a, b)
+	}
+}

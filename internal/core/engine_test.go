@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/model"
+	"mobilstm/internal/sched"
+)
+
+// tinyProfile keeps engine tests fast while exercising the full pipeline.
+func tinyProfile() model.Profile {
+	return model.Profile{Name: "tiny", HiddenCap: 64, LengthCap: 16,
+		AccSamples: 10, PredictorSamples: 3, StatSamples: 2}
+}
+
+var (
+	engOnce sync.Once
+	eng     *Engine
+)
+
+// testEngine builds one shared MR engine (cheapest benchmark).
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	engOnce.Do(func() {
+		b, _ := model.ByName("MR")
+		eng = NewEngine(b, tinyProfile(), gpu.TegraX1())
+	})
+	return eng
+}
+
+func TestOfflineCalibration(t *testing.T) {
+	e := testEngine(t)
+	if e.MTS < 2 || e.MTS > 10 {
+		t.Fatalf("MTS %d out of plausible range", e.MTS)
+	}
+	if e.AlphaInterMax <= 0 {
+		t.Fatal("alpha_inter upper limit not calibrated")
+	}
+	if len(e.Predictors) != e.B.Layers {
+		t.Fatalf("%d predictors for %d layers", len(e.Predictors), e.B.Layers)
+	}
+}
+
+func TestThresholdsMonotone(t *testing.T) {
+	e := testEngine(t)
+	prevI, prevA := -1.0, -1.0
+	for set := 0; set < ThresholdSets; set++ {
+		ai, aa := e.Thresholds(set)
+		if ai < prevI || aa < prevA {
+			t.Fatalf("thresholds not monotone at set %d: (%v,%v) after (%v,%v)", set, ai, aa, prevI, prevA)
+		}
+		prevI, prevA = ai, aa
+	}
+	if ai, aa := e.Thresholds(0); ai != 0 || aa != 0 {
+		t.Fatalf("set 0 not the exact baseline: %v, %v", ai, aa)
+	}
+	// Clamping.
+	loI, loA := e.Thresholds(-5)
+	if loI != 0 || loA != 0 {
+		t.Fatal("negative set not clamped")
+	}
+	hiI, _ := e.Thresholds(99)
+	wantI, _ := e.Thresholds(10)
+	if hiI != wantI {
+		t.Fatal("overflow set not clamped")
+	}
+}
+
+func TestBaselineCachedAndExact(t *testing.T) {
+	e := testEngine(t)
+	b1 := e.Baseline()
+	b2 := e.Baseline()
+	if b1 != b2 {
+		t.Fatal("baseline not cached")
+	}
+	if b1.Speedup != 1 || b1.Accuracy != 1 {
+		t.Fatalf("baseline outcome: %+v", b1)
+	}
+	if b3 := e.EvaluateSet(sched.Combined, 0); b3 != b1 {
+		t.Fatal("set 0 should return the baseline outcome")
+	}
+}
+
+func TestEvaluateCombinedImproves(t *testing.T) {
+	e := testEngine(t)
+	o := e.EvaluateSet(sched.Combined, 10)
+	if o.Speedup <= 1 {
+		t.Fatalf("combined at max thresholds: speedup %v", o.Speedup)
+	}
+	if o.EnergySaving <= 0 {
+		t.Fatalf("combined saving %v", o.EnergySaving)
+	}
+	if o.Accuracy < 0.5 {
+		t.Fatalf("combined accuracy %v implausibly low", o.Accuracy)
+	}
+	if len(o.Stats) != e.B.Layers {
+		t.Fatalf("stats per layer: %d", len(o.Stats))
+	}
+}
+
+func TestInterStatsHaveNoSkips(t *testing.T) {
+	e := testEngine(t)
+	o := e.EvaluateSet(sched.Inter, 8)
+	for _, st := range o.Stats {
+		if st.SkipFrac != 0 {
+			t.Fatal("inter-only mode reported skipped rows")
+		}
+	}
+	o2 := e.EvaluateSet(sched.Intra, 8)
+	for _, st := range o2.Stats {
+		if st.BreakRate != 0 {
+			t.Fatal("intra-only mode reported breakpoints")
+		}
+	}
+}
+
+func TestZeroPruneOutcome(t *testing.T) {
+	e := testEngine(t)
+	o := e.EvaluateZeroPrune(0.315)
+	if o.Speedup >= 1 {
+		t.Fatalf("zero-pruning should slow down (got %vx)", o.Speedup)
+	}
+	if o.PruneDensity != 0.315 {
+		t.Fatalf("density: %v", o.PruneDensity)
+	}
+	// Fewer bytes moved than baseline despite being slower.
+	if o.Result.DRAMBytes >= e.Baseline().Result.DRAMBytes {
+		t.Fatal("pruning did not reduce traffic")
+	}
+}
+
+func TestAOAndBPASelectors(t *testing.T) {
+	outs := []*Outcome{
+		{Speedup: 1.0, Accuracy: 1.0},
+		{Speedup: 1.5, Accuracy: 0.99},
+		{Speedup: 2.0, Accuracy: 0.97},
+		{Speedup: 2.4, Accuracy: 0.90},
+	}
+	if ao := AOSet(outs); ao != 1 {
+		t.Fatalf("AO = %d", ao)
+	}
+	if bpa := BPASet(outs); bpa != 3 {
+		t.Fatalf("BPA = %d (2.4*0.90=2.16 is max)", bpa)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := &Outcome{Mode: sched.Combined, Speedup: 2.5, EnergySaving: 0.47, Accuracy: 0.98}
+	if s := o.String(); s == "" {
+		t.Fatal("empty outcome string")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	e := testEngine(t)
+	a := e.EvaluateSet(sched.Combined, 6)
+	b := e.EvaluateSet(sched.Combined, 6)
+	if a.Speedup != b.Speedup || a.Accuracy != b.Accuracy {
+		t.Fatalf("evaluation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAverageResults(t *testing.T) {
+	cfg := gpu.TegraX1()
+	r1 := &gpu.Result{Cfg: cfg, Cycles: 100, DRAMBytes: 10, Launches: 2}
+	r2 := &gpu.Result{Cfg: cfg, Cycles: 200, DRAMBytes: 30, Launches: 4}
+	avg := averageResults([]*gpu.Result{r1, r2})
+	if avg.Cycles != 150 || avg.DRAMBytes != 20 || avg.Launches != 3 {
+		t.Fatalf("average: %+v", avg)
+	}
+	one := &gpu.Result{Cfg: cfg, Cycles: 7}
+	if averageResults([]*gpu.Result{one}) != one {
+		t.Fatal("single replica should pass through")
+	}
+}

@@ -1,0 +1,110 @@
+// Package energy models whole-system energy for LSTM inference on a
+// mobile SoC, matching the paper's measurement methodology: the Jetson
+// board's power rail covers CPU, GPU and DRAM together (§VI-A, "the
+// obtained energy result describes the energy consumption of the overall
+// system").
+//
+// The model is the standard decomposition
+//
+//	E = P_static * T  +  P_host * T  +  e_dram * B_dram
+//	    + e_onchip * B_onchip  +  e_flop * F  (+ CRM overhead)
+//
+// with constants in the range mobile-SoC literature reports (LPDDR4
+// ~20-30 pJ/B end to end, on-chip SRAM ~1-2 pJ/B, Maxwell-class FMA a few
+// pJ/FLOP, TX1 module idle+leakage a couple of watts). Savings therefore
+// come from two places, exactly as in the paper: shorter runtime (static +
+// host energy) and fewer DRAM bytes (the dominant dynamic term).
+package energy
+
+import (
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/gpu/crm"
+)
+
+// Params are the platform energy constants.
+type Params struct {
+	// StaticPowerW is the always-on SoC power while the inference runs
+	// (leakage, clocks, rails).
+	StaticPowerW float64
+	// HostPowerW is the CPU-side power while it drives the GPU (kernel
+	// launches, list bookkeeping).
+	HostPowerW float64
+	// DRAMEnergyPerByte is the end-to-end LPDDR4 access energy.
+	DRAMEnergyPerByte float64
+	// OnChipEnergyPerByte covers L2 hits and shared-memory traffic.
+	OnChipEnergyPerByte float64
+	// FLOPEnergy is the per-FLOP core energy.
+	FLOPEnergy float64
+}
+
+// TegraX1 returns the TX1 module constants used throughout the
+// reproduction.
+func TegraX1() Params {
+	return Params{
+		StaticPowerW:        2.2,
+		HostPowerW:          1.1,
+		DRAMEnergyPerByte:   26e-12,
+		OnChipEnergyPerByte: 1.6e-12,
+		FLOPEnergy:          4.5e-12,
+	}
+}
+
+// Breakdown is the energy of one simulated execution, in joules.
+type Breakdown struct {
+	StaticJ  float64
+	HostJ    float64
+	DRAMJ    float64
+	OnChipJ  float64
+	ComputeJ float64
+	// CRMJ is the CTA-reorganization module's overhead (hardware DRS
+	// only), per the paper's gate-level figure of <1% GPU power.
+	CRMJ float64
+}
+
+// Total returns the system energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.StaticJ + b.HostJ + b.DRAMJ + b.OnChipJ + b.ComputeJ + b.CRMJ
+}
+
+// Of computes the system energy of a simulated kernel sequence.
+// hardwareDRS adds the CRM power overhead over the execution window.
+func Of(p Params, r *gpu.Result, hardwareDRS bool) Breakdown {
+	b := Breakdown{
+		StaticJ:  p.StaticPowerW * r.Seconds,
+		HostJ:    p.HostPowerW * r.Seconds,
+		DRAMJ:    p.DRAMEnergyPerByte * r.DRAMBytes,
+		OnChipJ:  p.OnChipEnergyPerByte * (r.L2HitBytes + r.SharedBytes),
+		ComputeJ: p.FLOPEnergy * r.FLOPs,
+	}
+	if hardwareDRS {
+		gpuDynamic := b.DRAMJ + b.OnChipJ + b.ComputeJ
+		b.CRMJ = crm.PowerOverheadFrac * gpuDynamic
+	}
+	return b
+}
+
+// Saving returns the fractional energy saving of opt relative to base
+// (the paper's Fig. 14(b) metric).
+func Saving(base, opt Breakdown) float64 {
+	bt := base.Total()
+	if bt == 0 {
+		return 0
+	}
+	return 1 - opt.Total()/bt
+}
+
+// AtVoltage derates the platform energy constants for a DVFS state with
+// the given relative supply voltage (see gpu.VoltageScale): per-op
+// dynamic energy scales with V^2, and the static/leakage and host rails
+// scale with ~V^2 as well (leakage is super-linear in V; the quadratic
+// form is the conventional first-order model).
+func (p Params) AtVoltage(vScale float64) Params {
+	v2 := vScale * vScale
+	return Params{
+		StaticPowerW:        p.StaticPowerW * v2,
+		HostPowerW:          p.HostPowerW,        // CPU rail is independent
+		DRAMEnergyPerByte:   p.DRAMEnergyPerByte, // memory rail is independent
+		OnChipEnergyPerByte: p.OnChipEnergyPerByte * v2,
+		FLOPEnergy:          p.FLOPEnergy * v2,
+	}
+}

@@ -1,0 +1,111 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mobilstm/internal/gpu"
+)
+
+func result(seconds, dramBytes, flops float64) *gpu.Result {
+	return &gpu.Result{
+		Cfg:       gpu.TegraX1(),
+		Seconds:   seconds,
+		DRAMBytes: dramBytes,
+		FLOPs:     flops,
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	p := TegraX1()
+	b := Of(p, result(0.1, 1e9, 1e9), false)
+	if math.Abs(b.StaticJ-p.StaticPowerW*0.1) > 1e-12 {
+		t.Fatalf("static: %v", b.StaticJ)
+	}
+	if math.Abs(b.HostJ-p.HostPowerW*0.1) > 1e-12 {
+		t.Fatalf("host: %v", b.HostJ)
+	}
+	if math.Abs(b.DRAMJ-p.DRAMEnergyPerByte*1e9) > 1e-12 {
+		t.Fatalf("dram: %v", b.DRAMJ)
+	}
+	if math.Abs(b.ComputeJ-p.FLOPEnergy*1e9) > 1e-12 {
+		t.Fatalf("compute: %v", b.ComputeJ)
+	}
+	if b.CRMJ != 0 {
+		t.Fatal("CRM energy without hardware DRS")
+	}
+}
+
+func TestCRMOverheadSmall(t *testing.T) {
+	p := TegraX1()
+	r := result(0.1, 1e9, 1e9)
+	with := Of(p, r, true)
+	without := Of(p, r, false)
+	if with.CRMJ <= 0 {
+		t.Fatal("no CRM energy under hardware DRS")
+	}
+	// §VI-F: <1% of GPU power.
+	if with.CRMJ > 0.01*without.Total() {
+		t.Fatalf("CRM energy %v too large vs total %v", with.CRMJ, without.Total())
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	b := Breakdown{StaticJ: 1, HostJ: 2, DRAMJ: 3, OnChipJ: 4, ComputeJ: 5, CRMJ: 6}
+	if b.Total() != 21 {
+		t.Fatalf("total: %v", b.Total())
+	}
+}
+
+func TestSaving(t *testing.T) {
+	base := Breakdown{StaticJ: 10}
+	opt := Breakdown{StaticJ: 6}
+	if s := Saving(base, opt); math.Abs(s-0.4) > 1e-12 {
+		t.Fatalf("saving: %v", s)
+	}
+	if s := Saving(Breakdown{}, opt); s != 0 {
+		t.Fatalf("saving with zero base: %v", s)
+	}
+}
+
+func TestFasterAndLeanerSavesEnergy(t *testing.T) {
+	p := TegraX1()
+	base := Of(p, result(0.2, 2e9, 2e9), false)
+	opt := Of(p, result(0.1, 1e9, 1.8e9), true)
+	if Saving(base, opt) <= 0 {
+		t.Fatal("faster + fewer bytes did not save energy")
+	}
+}
+
+func TestDRAMEnergyMatters(t *testing.T) {
+	// At full bandwidth the DRAM term must be a visible share of power —
+	// that is what the paper's traffic reductions harvest.
+	p := TegraX1()
+	seconds := 0.1
+	bytes := 25.6e9 * seconds // saturated LPDDR4
+	b := Of(p, result(seconds, bytes, 0), false)
+	share := b.DRAMJ / b.Total()
+	if share < 0.1 || share > 0.6 {
+		t.Fatalf("DRAM energy share %v, want 10-60%%", share)
+	}
+}
+
+func TestAtVoltageScaling(t *testing.T) {
+	p := TegraX1()
+	low := p.AtVoltage(0.7)
+	if low.StaticPowerW >= p.StaticPowerW {
+		t.Fatal("static power did not drop")
+	}
+	if low.FLOPEnergy >= p.FLOPEnergy {
+		t.Fatal("per-op energy did not drop")
+	}
+	if low.DRAMEnergyPerByte != p.DRAMEnergyPerByte {
+		t.Fatal("memory rail must be independent of GPU voltage")
+	}
+	if low.HostPowerW != p.HostPowerW {
+		t.Fatal("CPU rail must be independent of GPU voltage")
+	}
+	if math.Abs(low.StaticPowerW-p.StaticPowerW*0.49) > 1e-12 {
+		t.Fatalf("static scaling not quadratic: %v", low.StaticPowerW)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/kernels"
+	"mobilstm/internal/model"
+	"mobilstm/internal/report"
+	"mobilstm/internal/sched"
+)
+
+// RequestBatching contrasts the two ways to reuse the united weight
+// matrix: batching *across concurrent requests* (exact, but each request
+// waits for B-1 others to arrive — hopeless for an interactive IPA with
+// one user) versus the paper's tissues, which batch *across cells of the
+// same request* at a small accuracy cost. The per-inference GPU time of
+// batch-B converges to the tissue flow's, but its end-to-end latency
+// includes the queueing wait.
+func (s *Suite) RequestBatching(benchName string, interArrivalMs float64) *report.Table {
+	b, ok := model.ByName(benchName)
+	if !ok {
+		panic("experiments: unknown benchmark " + benchName)
+	}
+	cfg := s.cfg.GPU
+	sim := gpu.NewSimulator(cfg)
+	kb := kernels.NewBuilder(cfg)
+
+	t := report.NewTable(
+		fmt.Sprintf("Weight reuse: request batching vs tissues (%s, %.0f ms between requests)",
+			benchName, interArrivalMs),
+		"Execution", "GPU ms/request", "wait ms", "response ms", "accuracy")
+
+	// Batch-B baseline: per cell one Sgemm(U, H_B) over the B requests'
+	// vectors — same kernel shape as a tissue of size B, but the batch
+	// dimension is requests, so the math is exact.
+	batchGPU := func(batch int) float64 {
+		var ks []gpu.KernelSpec
+		for layer := 0; layer < b.Layers; layer++ {
+			ks = append(ks, kb.SgemmWx(b.Hidden, b.Hidden, b.Length*batch))
+			for c := 0; c < b.Length; c++ {
+				k, _ := kb.SgemmTissue(b.Hidden, batch)
+				ks = append(ks, k, kb.LstmEW(b.Hidden, batch))
+			}
+		}
+		return sim.Run(ks).Seconds * 1e3 / float64(batch)
+	}
+
+	for _, batch := range []int{1, 2, 4, 8} {
+		gpuMs := batchGPU(batch)
+		// The last request of a batch waits for the first to arrive.
+		waitMs := float64(batch-1) * interArrivalMs
+		name := fmt.Sprintf("request batch B=%d (exact)", batch)
+		t.AddRowf(name,
+			fmt.Sprintf("%.2f", gpuMs),
+			fmt.Sprintf("%.0f", waitMs),
+			fmt.Sprintf("%.2f", gpuMs*float64(batch)+waitMs),
+			"100.0%")
+	}
+
+	// The paper's answer: tissue-batch the single request.
+	ao := s.AOOutcome(benchName, sched.Combined)
+	ms := ao.Result.Seconds * 1e3
+	t.AddRowf("tissues + DRS at AO (this paper, B=1)",
+		fmt.Sprintf("%.2f", ms), "0", fmt.Sprintf("%.2f", ms),
+		fmt.Sprintf("%.1f%%", ao.Accuracy*100))
+	return t
+}
+
+// BandwidthSensitivity sweeps the off-chip bandwidth and reports the
+// baseline latency and the combined optimization's speedup: the paper's
+// bottleneck analysis predicts the baseline is bandwidth-proportional and
+// the optimizations matter most where bandwidth is scarce.
+func (s *Suite) BandwidthSensitivity(benchName string) *report.Table {
+	e := s.Engine(benchName)
+	ao := s.AOOutcome(benchName, sched.Combined)
+	t := report.NewTable(
+		fmt.Sprintf("Off-chip bandwidth sensitivity (%s)", benchName),
+		"DRAM bandwidth", "baseline ms", "combined ms", "speedup")
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		cfg := s.cfg.GPU
+		cfg.DRAMBandwidth *= scale
+		sim := gpu.NewSimulator(cfg)
+		basePlan := sched.Plan{
+			Cfg: cfg, Mode: sched.Baseline,
+			Hidden: e.B.Hidden, Input: e.B.Hidden, Length: e.B.Length, Layers: e.B.Layers,
+		}
+		optPlan := basePlan
+		optPlan.Mode = sched.Combined
+		optPlan.MTS = e.MTS
+		optPlan.Stats = ao.Stats
+		optPlan.Seed = e.B.Seed ^ 0xfeed
+		base := sim.Run(sched.Kernels(basePlan))
+		opt := sim.Run(sched.Kernels(optPlan))
+		t.AddRowf(fmt.Sprintf("%.1f GB/s", cfg.DRAMBandwidth/1e9),
+			fmt.Sprintf("%.2f", base.Seconds*1e3),
+			fmt.Sprintf("%.2f", opt.Seconds*1e3),
+			report.X(base.Cycles/opt.Cycles))
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilstm/internal/energy"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/report"
+	"mobilstm/internal/sched"
+)
+
+// IsoLatencyDVFS spends the combined optimization's latency headroom on
+// frequency scaling: drop to the lowest GPU clock state whose optimized
+// latency still beats the baseline at full clock, and report the total
+// energy saving. Memory-bound LSTM phases lose little speed at lower
+// core clocks (the off-chip bandwidth is on its own rail), so most of
+// the speedup converts into energy.
+func (s *Suite) IsoLatencyDVFS(benchName string) *report.Table {
+	e := s.Engine(benchName)
+	base := e.Baseline()
+	ao := s.AOOutcome(benchName, sched.Combined)
+
+	t := report.NewTable(
+		fmt.Sprintf("Iso-latency DVFS (%s, combined at AO)", benchName),
+		"clock", "latency ms", "vs baseline", "system energy mJ", "saving")
+	baseEnergy := base.Energy.Total()
+	t.AddRowf(fmt.Sprintf("%.0f MHz (baseline flow)", s.cfg.GPU.ClockHz/1e6),
+		fmt.Sprintf("%.2f", base.Result.Seconds*1e3), "1.00x",
+		fmt.Sprintf("%.2f", baseEnergy*1e3), "-")
+
+	for _, hz := range s.cfg.GPU.ClockStates() {
+		cfg := s.cfg.GPU.AtClock(hz)
+		sim := gpu.NewSimulator(cfg)
+		plan := sched.Plan{
+			Cfg: cfg, Mode: sched.Combined,
+			Hidden: e.B.Hidden, Input: e.B.Hidden, Length: e.B.Length, Layers: e.B.Layers,
+			MTS: e.MTS, Stats: ao.Stats, Seed: e.B.Seed ^ 0xfeed,
+		}
+		res := sim.Run(sched.Kernels(plan))
+		v := gpu.VoltageScale(hz, s.cfg.GPU.ClockHz)
+		br := energy.Of(s.cfg.Energy.AtVoltage(v), res, true)
+		marker := ""
+		if res.Seconds <= base.Result.Seconds {
+			marker = fmt.Sprintf("%.1f%%", (1-br.Total()/baseEnergy)*100)
+		} else {
+			marker = "misses deadline"
+		}
+		t.AddRowf(fmt.Sprintf("%.0f MHz", hz/1e6),
+			fmt.Sprintf("%.2f", res.Seconds*1e3),
+			report.X(base.Result.Seconds/res.Seconds),
+			fmt.Sprintf("%.2f", br.Total()*1e3),
+			marker)
+	}
+	return t
+}

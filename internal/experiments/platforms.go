@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilstm/internal/energy"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/model"
+	"mobilstm/internal/report"
+	"mobilstm/internal/sched"
+)
+
+// CrossPlatform evaluates the framework across GPU generations (§IV-C:
+// "the MTS is determined by the GPU configurations, a framework is needed
+// to dynamically implement the LSTM layer reorganization scheme ... on
+// different mobile GPUs"): the offline calibration re-discovers each
+// platform's MTS and the optimizations re-tune, so the speedup carries
+// over without manual retuning.
+func (s *Suite) CrossPlatform(benchName string) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Cross-platform portability (%s, combined at fixed thresholds)", benchName),
+		"Platform", "MTS", "baseline ms", "combined ms", "speedup", "energy saving")
+	b, ok := model.ByName(benchName)
+	if !ok {
+		panic("experiments: unknown benchmark " + benchName)
+	}
+	// Structural statistics are a property of the model and thresholds,
+	// not the platform: measure them once on the suite's engine.
+	e := s.Engine(benchName)
+	ai, aa := e.Thresholds(6)
+	stats := e.Structure(sched.Combined, ai, aa)
+	for _, cfg := range gpu.Platforms() {
+		mts := intercell.FindMTS(cfg, b.Hidden, 16)
+		sim := gpu.NewSimulator(cfg)
+		basePlan := sched.Plan{
+			Cfg: cfg, Mode: sched.Baseline,
+			Hidden: b.Hidden, Input: b.Hidden, Length: b.Length, Layers: b.Layers,
+		}
+		optPlan := basePlan
+		optPlan.Mode = sched.Combined
+		optPlan.MTS = mts
+		optPlan.Stats = stats
+		optPlan.Seed = b.Seed
+		base := sim.Run(sched.Kernels(basePlan))
+		opt := sim.Run(sched.Kernels(optPlan))
+		saving := energy.Saving(
+			energy.Of(s.cfg.Energy, base, false),
+			energy.Of(s.cfg.Energy, opt, true))
+		t.AddRowf(cfg.Name, fmt.Sprintf("%d", mts),
+			fmt.Sprintf("%.2f", base.Seconds*1e3), fmt.Sprintf("%.2f", opt.Seconds*1e3),
+			report.X(base.Cycles/opt.Cycles), report.Pct(saving))
+	}
+	return t
+}

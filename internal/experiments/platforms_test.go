@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/intercell"
+)
+
+func TestCrossPlatformTable(t *testing.T) {
+	s := tinySuite()
+	out := s.CrossPlatform("MR").String()
+	for _, cfg := range gpu.Platforms() {
+		if !strings.Contains(out, cfg.Name) {
+			t.Fatalf("missing platform %q in:\n%s", cfg.Name, out)
+		}
+	}
+}
+
+func TestMTSVariesAcrossPlatforms(t *testing.T) {
+	// The point of the offline MTS discovery: the shared/DRAM roofline
+	// crossover moves with the platform's bandwidth ratio, so at least
+	// one platform must have a different MTS than the TX1.
+	h := 512
+	base := intercell.FindMTS(gpu.TegraX1(), h, 16)
+	varied := false
+	for _, cfg := range gpu.Platforms() {
+		if intercell.FindMTS(cfg, h, 16) != base {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("MTS identical across all platform generations")
+	}
+}
+
+func TestCrossPlatformPanicsOnUnknown(t *testing.T) {
+	s := tinySuite()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown benchmark")
+		}
+	}()
+	s.CrossPlatform("bogus")
+}

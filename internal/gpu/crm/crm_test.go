@@ -1,0 +1,82 @@
+package crm
+
+import "testing"
+
+func TestReorganizeZeroThreads(t *testing.T) {
+	m := Default()
+	if c := m.Reorganize(0, 0); c != 0 {
+		t.Fatalf("cost for empty kernel: %v", c)
+	}
+}
+
+func TestReorganizeCostGrowsWithWarps(t *testing.T) {
+	m := Default()
+	small := m.Reorganize(64, 0)
+	large := m.Reorganize(2048, 0)
+	if large <= small {
+		t.Fatalf("pipeline cost not monotone: %v vs %v", small, large)
+	}
+	// 2048 threads = 64 warps + 2 pipeline stages - 1 = 65 cycles.
+	if large != 65 {
+		t.Fatalf("2048-thread pipeline = %v cycles, want 65", large)
+	}
+}
+
+func TestReorganizeTRBFill(t *testing.T) {
+	m := Default()
+	// 128 trivial rows x 4 B over a 16 B/cycle port = 32 fill cycles,
+	// plus the pipeline for 2048 threads (65 cycles).
+	if c := m.Reorganize(2048, 128); c != 32+65 {
+		t.Fatalf("cost = %v, want 97", c)
+	}
+}
+
+func TestReorganizeClampsTrivial(t *testing.T) {
+	m := Default()
+	if a, b := m.Reorganize(64, -5), m.Reorganize(64, 0); a != b {
+		t.Fatal("negative trivial count not clamped")
+	}
+	if a, b := m.Reorganize(64, 100), m.Reorganize(64, 64); a != b {
+		t.Fatal("excess trivial count not clamped")
+	}
+}
+
+func TestCompactedThreadsWarpRounding(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		total, trivial, want int
+	}{
+		{256, 0, 256},
+		{256, 128, 128},
+		{256, 100, 160}, // 156 live -> 5 warps
+		{256, 256, 0},
+		{256, 300, 0}, // clamped
+		{33, 0, 64},   // rounds up to whole warps
+	}
+	for _, c := range cases {
+		if got := m.CompactedThreads(c.total, c.trivial); got != c.want {
+			t.Errorf("CompactedThreads(%d, %d) = %d, want %d", c.total, c.trivial, got, c.want)
+		}
+	}
+}
+
+func TestCompactionRemovesDivergence(t *testing.T) {
+	// The CRM's purpose: surviving threads occupy ceil(live/32) warps,
+	// never more — i.e. no warp with a disabled lane remains scheduled.
+	m := Default()
+	for trivial := 0; trivial <= 512; trivial += 31 {
+		live := 512 - trivial
+		got := m.CompactedThreads(512, trivial)
+		warps := (live + 31) / 32
+		if got != warps*32 {
+			t.Fatalf("trivial=%d: %d slots, want %d", trivial, got, warps*32)
+		}
+	}
+}
+
+func TestPowerOverheadWithinPaperBound(t *testing.T) {
+	// §VI-F: the CRM costs <1% power.
+	if PowerOverheadFrac >= 0.01 {
+		t.Fatalf("CRM power overhead %v, paper bound <1%%", PowerOverheadFrac)
+	}
+}

@@ -1,0 +1,63 @@
+package cyclesim
+
+import "mobilstm/internal/gpu"
+
+// FromConfig derives cycle-level machine parameters from the analytic
+// platform description, so both models describe the same hardware.
+func FromConfig(cfg gpu.Config) Params {
+	return Params{
+		SMs:            cfg.SMs,
+		WarpSlotsPerSM: cfg.MaxThreadsPerSM / cfg.WarpSize,
+		// Each core retires one lane-op per cycle: an SM issues
+		// CoresPerSM/WarpSize warp-instructions per cycle.
+		IssuePerCycle: cfg.CoresPerSM / cfg.WarpSize,
+		// The shared port serves its per-cycle byte budget in 64 B
+		// half-warp transactions.
+		SharedAccessPerCycle: maxInt(1, int(cfg.SharedBWBytesPerCycle)/64),
+		DRAMLinesPerCycle:    cfg.DRAMBytesPerCycle() / float64(cfg.L2LineBytes),
+		DRAMLatency:          300,
+		LaunchCycles:         int(cfg.KernelLaunchCycles),
+	}
+}
+
+// FromSpec translates an analytic kernel descriptor into a warp-level
+// workload. The translation preserves totals: FLOPs become warp FMA
+// instructions, shared bytes become warp-wide accesses, DRAM bytes become
+// line batches with a gemv-like memory-level parallelism of 8 lines per
+// request burst.
+func FromSpec(cfg gpu.Config, k gpu.KernelSpec) Workload {
+	warps := (k.Threads + cfg.WarpSize - 1) / cfg.WarpSize
+	if warps < 1 {
+		warps = 1
+	}
+	lanes := float64(warps * cfg.WarpSize)
+	computeInstr := k.FLOPs / 2 / lanes // FMA retires 2 FLOPs per lane
+	if k.ComputeScale > 1 {
+		computeInstr *= k.ComputeScale // divergence / reconfiguration
+	}
+	sharedAccesses := k.SharedBytes / 64 / float64(warps)
+	lines := k.DRAMBytes / float64(cfg.L2LineBytes) / float64(warps)
+	if k.EffectiveDRAMFrac > 0 && k.EffectiveDRAMFrac < 1 {
+		lines /= k.EffectiveDRAMFrac // un-coalesced bursts waste lines
+	}
+	return Workload{
+		Warps:            warps,
+		ComputePerWarp:   int(computeInstr + 0.5),
+		SharedPerWarp:    int(sharedAccesses + 0.5),
+		DRAMLinesPerWarp: int(lines + 0.5),
+		MemBatch:         8,
+	}
+}
+
+// SimulateSpec runs one analytic kernel descriptor through the
+// cycle-level model.
+func SimulateSpec(cfg gpu.Config, k gpu.KernelSpec) Result {
+	return Simulate(FromConfig(cfg), FromSpec(cfg, k))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

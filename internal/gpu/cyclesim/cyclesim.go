@@ -1,0 +1,280 @@
+// Package cyclesim is a cycle-level GPU kernel simulator used to validate
+// the fast analytic timing model in package gpu. The paper's evaluation
+// could not use an architectural simulator because GPGPU-Sim does not run
+// the cuDNN-era libraries (§VI-A); this reproduction instead validates
+// its analytic rooflines against an in-package warp-level model:
+//
+//   - each SM hosts resident warps and issues up to IssuePerCycle
+//     instructions per cycle round-robin among ready warps;
+//   - a warp's program interleaves compute instructions, warp-wide
+//     shared-memory accesses (contending for the SM's shared port), and
+//     DRAM line batches (contending for global bandwidth and paying
+//     latency, during which the warp is descheduled);
+//   - DRAM serves a fixed number of lines per cycle with a fixed
+//     round-trip latency.
+//
+// Single kernels simulate in milliseconds, so the cross-validation suite
+// (analytic vs cycle-level on the paper's kernel shapes) runs in tests;
+// whole-network simulation stays on the analytic path.
+package cyclesim
+
+import "fmt"
+
+// Params is the machine description.
+type Params struct {
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// WarpSlotsPerSM bounds resident warps per SM (occupancy).
+	WarpSlotsPerSM int
+	// IssuePerCycle is the per-SM issue width in warp-instructions.
+	IssuePerCycle int
+	// SharedAccessPerCycle is the per-SM shared-memory port width in
+	// warp-wide accesses per cycle (one access = 32 lanes x 4 B).
+	SharedAccessPerCycle int
+	// DRAMLinesPerCycle is the global off-chip bandwidth in 64 B lines
+	// per core cycle (fractional).
+	DRAMLinesPerCycle float64
+	// DRAMLatency is the round-trip latency of a line batch in cycles.
+	DRAMLatency int
+	// LaunchCycles is the fixed kernel launch cost.
+	LaunchCycles int
+}
+
+// Workload describes one kernel at warp granularity.
+type Workload struct {
+	// Warps is the total warp count of the grid.
+	Warps int
+	// ComputePerWarp is the number of compute instructions each warp
+	// retires.
+	ComputePerWarp int
+	// SharedPerWarp is the number of warp-wide shared accesses.
+	SharedPerWarp int
+	// DRAMLinesPerWarp is the number of 64 B lines each warp loads.
+	DRAMLinesPerWarp int
+	// MemBatch is the number of lines requested per memory instruction
+	// (memory-level parallelism): the warp blocks once per batch.
+	MemBatch int
+}
+
+// Result is the simulated outcome.
+type Result struct {
+	Cycles int
+	// IssueBusy, SharedBusy and DRAMBusy count cycles where the
+	// respective resource was saturated (aggregated over SMs for the
+	// per-SM resources).
+	IssueBusy  int
+	SharedBusy int
+	DRAMBusy   int
+}
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opShared
+	opMem
+	opDone
+)
+
+// warp is one resident warp's state machine. Its program interleaves the
+// three op kinds proportionally via error diffusion, which mirrors how
+// real gemv/gemm inner loops mix FMAs, shared loads and global loads.
+type warp struct {
+	compute, shared, mem int // remaining ops (mem in batches)
+	accC, accS, accM     float64
+	rateC, rateS, rateM  float64
+	blockedUntil         int
+}
+
+func newWarp(w Workload) *warp {
+	memBatches := 0
+	if w.MemBatch > 0 {
+		memBatches = (w.DRAMLinesPerWarp + w.MemBatch - 1) / w.MemBatch
+	}
+	total := w.ComputePerWarp + w.SharedPerWarp + memBatches
+	wp := &warp{compute: w.ComputePerWarp, shared: w.SharedPerWarp, mem: memBatches}
+	if total > 0 {
+		wp.rateC = float64(w.ComputePerWarp) / float64(total)
+		wp.rateS = float64(w.SharedPerWarp) / float64(total)
+		wp.rateM = float64(memBatches) / float64(total)
+	}
+	return wp
+}
+
+// next picks the op kind whose error-diffusion accumulator is furthest
+// behind its target rate, among kinds with remaining work.
+func (w *warp) next() opKind {
+	bestKind := opDone
+	bestScore := -1e18
+	if w.compute > 0 {
+		if s := w.rateC - w.accC; s > bestScore {
+			bestScore, bestKind = s, opCompute
+		}
+	}
+	if w.shared > 0 {
+		if s := w.rateS - w.accS; s > bestScore {
+			bestScore, bestKind = s, opShared
+		}
+	}
+	if w.mem > 0 {
+		if s := w.rateM - w.accM; s > bestScore {
+			bestScore, bestKind = s, opMem
+		}
+	}
+	return bestKind
+}
+
+func (w *warp) retire(k opKind) {
+	w.accC += w.rateC
+	w.accS += w.rateS
+	w.accM += w.rateM
+	switch k {
+	case opCompute:
+		w.compute--
+		w.accC--
+	case opShared:
+		w.shared--
+		w.accS--
+	case opMem:
+		w.mem--
+		w.accM--
+	}
+}
+
+func (w *warp) done() bool { return w.compute == 0 && w.shared == 0 && w.mem == 0 }
+
+// Simulate runs the workload to completion and returns the cycle count.
+func Simulate(p Params, wl Workload) Result {
+	if err := validate(p, wl); err != nil {
+		panic(err)
+	}
+	// Distribute warps across SMs; waves beyond the occupancy limit
+	// start when a slot frees (modelled by giving each SM a queue).
+	queues := make([][]*warp, p.SMs)
+	for i := 0; i < wl.Warps; i++ {
+		sm := i % p.SMs
+		queues[sm] = append(queues[sm], newWarp(wl))
+	}
+	resident := make([][]*warp, p.SMs)
+	for sm := range resident {
+		n := p.WarpSlotsPerSM
+		if n > len(queues[sm]) {
+			n = len(queues[sm])
+		}
+		resident[sm] = append(resident[sm], queues[sm][:n]...)
+		queues[sm] = queues[sm][n:]
+	}
+
+	var res Result
+	// DRAM bandwidth accounting: a fractional line budget accrues per
+	// cycle; requests drain it FIFO. completion = max(now, queueFree) +
+	// latency.
+	var dramFree float64 // cycle at which the DRAM pipe frees up
+	remaining := wl.Warps
+
+	cycle := 0
+	for remaining > 0 {
+		cycle++
+		dramSaturated := false
+		for sm := 0; sm < p.SMs; sm++ {
+			issued := 0
+			sharedUsed := 0
+			ws := resident[sm]
+			for i := 0; i < len(ws) && issued < p.IssuePerCycle; i++ {
+				w := ws[i]
+				if w.blockedUntil > cycle {
+					continue
+				}
+				k := w.next()
+				switch k {
+				case opDone:
+					continue
+				case opShared:
+					if sharedUsed >= p.SharedAccessPerCycle {
+						continue // port busy this cycle
+					}
+					sharedUsed++
+				case opMem:
+					// Reserve bandwidth for the batch.
+					batch := float64(wl.MemBatch)
+					start := dramFree
+					if c := float64(cycle); c > start {
+						start = c
+					}
+					dramFree = start + batch/p.DRAMLinesPerCycle
+					w.blockedUntil = int(dramFree) + p.DRAMLatency
+					if dramFree > float64(cycle+1) {
+						dramSaturated = true
+					}
+				}
+				w.retire(k)
+				issued++
+				if w.done() {
+					// Free the slot for the next queued warp.
+					if len(queues[sm]) > 0 {
+						ws[i] = queues[sm][0]
+						queues[sm] = queues[sm][1:]
+					} else {
+						ws[i] = ws[len(ws)-1]
+						ws = ws[:len(ws)-1]
+						resident[sm] = ws
+						i--
+					}
+					remaining--
+				}
+			}
+			if issued >= p.IssuePerCycle {
+				res.IssueBusy++
+			}
+			if sharedUsed >= p.SharedAccessPerCycle {
+				res.SharedBusy++
+			}
+		}
+		if dramSaturated {
+			res.DRAMBusy++
+		}
+		// Fast-forward when every resident warp is blocked on memory.
+		if next := earliestWakeup(resident, cycle); next > cycle+1 {
+			cycle = next - 1
+		}
+	}
+	res.Cycles = cycle + p.LaunchCycles
+	return res
+}
+
+// earliestWakeup returns the soonest cycle at which any warp can make
+// progress, or cycle+1 if someone is ready now.
+func earliestWakeup(resident [][]*warp, cycle int) int {
+	earliest := 1 << 62
+	anyReady := false
+	anyWarp := false
+	for _, ws := range resident {
+		for _, w := range ws {
+			if w.done() {
+				continue
+			}
+			anyWarp = true
+			if w.blockedUntil <= cycle {
+				anyReady = true
+			} else if w.blockedUntil < earliest {
+				earliest = w.blockedUntil
+			}
+		}
+	}
+	if anyReady || !anyWarp {
+		return cycle + 1
+	}
+	return earliest
+}
+
+func validate(p Params, wl Workload) error {
+	if p.SMs < 1 || p.WarpSlotsPerSM < 1 || p.IssuePerCycle < 1 ||
+		p.SharedAccessPerCycle < 1 || p.DRAMLinesPerCycle <= 0 || p.DRAMLatency < 0 {
+		return fmt.Errorf("cyclesim: invalid params %+v", p)
+	}
+	if wl.Warps < 1 || wl.ComputePerWarp < 0 || wl.SharedPerWarp < 0 ||
+		wl.DRAMLinesPerWarp < 0 || (wl.DRAMLinesPerWarp > 0 && wl.MemBatch < 1) {
+		return fmt.Errorf("cyclesim: invalid workload %+v", wl)
+	}
+	return nil
+}

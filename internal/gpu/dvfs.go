@@ -1,0 +1,38 @@
+package gpu
+
+// DVFS support: mobile SoCs expose discrete GPU clock states and scale
+// voltage with frequency. The optimizations' latency headroom can be
+// spent by dropping to a lower state at the same user-visible deadline,
+// converting speedup into further energy saving (the iso-latency
+// analysis in BenchmarkExtDVFS).
+
+// ClockStates returns the platform's supported GPU frequencies in Hz,
+// highest first. For the Tegra X1 these mirror the board's gpufreq table.
+func (c Config) ClockStates() []float64 {
+	base := c.ClockHz
+	return []float64{base, base * 0.77, base * 0.61, base * 0.46, base * 0.31}
+}
+
+// AtClock returns the configuration scaled to the given core frequency.
+// Off-chip bandwidth is on a separate memory clock and stays fixed, so
+// memory-bound kernels get *more* bytes per core cycle at lower clocks —
+// the reason DVFS suits memory-bound phases.
+func (c Config) AtClock(hz float64) Config {
+	out := c
+	out.ClockHz = hz
+	return out
+}
+
+// VoltageScale approximates the relative supply voltage at a frequency
+// (linear frequency-voltage curve with a 55% floor, typical for mobile
+// GPU rails). Dynamic power scales with V^2 f; static with ~V^2.
+func VoltageScale(hz, baseHz float64) float64 {
+	f := hz / baseHz
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return 0.55 + 0.45*f
+}

@@ -1,0 +1,76 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockStatesDescending(t *testing.T) {
+	cfg := TegraX1()
+	states := cfg.ClockStates()
+	if len(states) < 3 {
+		t.Fatalf("too few clock states: %d", len(states))
+	}
+	if states[0] != cfg.ClockHz {
+		t.Fatal("first state must be the base clock")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] >= states[i-1] {
+			t.Fatal("states not descending")
+		}
+		if states[i] <= 0 {
+			t.Fatal("non-positive clock state")
+		}
+	}
+}
+
+func TestAtClockScalesOnlyCoreClock(t *testing.T) {
+	cfg := TegraX1()
+	low := cfg.AtClock(cfg.ClockHz / 2)
+	if low.ClockHz != cfg.ClockHz/2 {
+		t.Fatal("clock not applied")
+	}
+	if low.DRAMBandwidth != cfg.DRAMBandwidth {
+		t.Fatal("memory rail must not scale with core clock")
+	}
+	// Bytes per core cycle doubles at half clock.
+	if math.Abs(low.DRAMBytesPerCycle()-2*cfg.DRAMBytesPerCycle()) > 1e-9 {
+		t.Fatalf("bytes/cycle: %v vs %v", low.DRAMBytesPerCycle(), cfg.DRAMBytesPerCycle())
+	}
+}
+
+func TestMemoryBoundKernelToleratesDVFS(t *testing.T) {
+	// A DRAM-bound kernel's wall time barely changes at half clock —
+	// the mechanism the iso-latency DVFS analysis exploits.
+	cfg := TegraX1()
+	spec := KernelSpec{Name: "stream", DRAMBytes: 64 << 20}
+	full := NewSimulator(cfg).Run([]KernelSpec{spec})
+	half := NewSimulator(cfg.AtClock(cfg.ClockHz / 2)).Run([]KernelSpec{spec})
+	ratio := half.Seconds / full.Seconds
+	if ratio > 1.1 {
+		t.Fatalf("memory-bound kernel slowed %vx at half clock", ratio)
+	}
+	// A compute-bound kernel, by contrast, doubles.
+	cspec := KernelSpec{Name: "flops", FLOPs: 5.12e9}
+	cfull := NewSimulator(cfg).Run([]KernelSpec{cspec})
+	chalf := NewSimulator(cfg.AtClock(cfg.ClockHz / 2)).Run([]KernelSpec{cspec})
+	if r := chalf.Seconds / cfull.Seconds; r < 1.8 {
+		t.Fatalf("compute-bound kernel only slowed %vx at half clock", r)
+	}
+}
+
+func TestVoltageScale(t *testing.T) {
+	base := 998e6
+	if v := VoltageScale(base, base); v != 1 {
+		t.Fatalf("full clock voltage %v", v)
+	}
+	if v := VoltageScale(0, base); math.Abs(v-0.55) > 1e-12 {
+		t.Fatalf("floor voltage %v", v)
+	}
+	if v := VoltageScale(2*base, base); v != 1 {
+		t.Fatal("overclock voltage not clamped")
+	}
+	if !(VoltageScale(base/2, base) < 1 && VoltageScale(base/2, base) > 0.55) {
+		t.Fatal("mid voltage out of band")
+	}
+}

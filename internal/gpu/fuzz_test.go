@@ -1,0 +1,35 @@
+package gpu
+
+import "testing"
+
+// FuzzCacheAccess drives the L2 simulator with arbitrary address streams:
+// it must never panic and its statistics must stay consistent.
+func FuzzCacheAccess(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 128}, int64(1024))
+	f.Add([]byte{7}, int64(64))
+	f.Fuzz(func(t *testing.T, stream []byte, sizeHint int64) {
+		size := sizeHint%(1<<20) + 1024
+		if size < 1024 {
+			size = 1024
+		}
+		size -= size % (64 * 4)
+		if size == 0 {
+			size = 64 * 4
+		}
+		c := NewCache(size, 64, 4)
+		var addr int64
+		for _, b := range stream {
+			addr = addr*131 + int64(b)
+			if addr < 0 {
+				addr = -addr
+			}
+			c.Access(addr)
+		}
+		if c.Misses() > c.Accesses() {
+			t.Fatalf("misses %d > accesses %d", c.Misses(), c.Accesses())
+		}
+		if c.Accesses() != int64(len(stream)) {
+			t.Fatalf("accesses %d, want %d", c.Accesses(), len(stream))
+		}
+	})
+}

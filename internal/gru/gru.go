@@ -1,0 +1,367 @@
+// Package gru applies the paper's optimizations to Gated Recurrent Unit
+// networks — the extension the paper sketches in §II-B ("the proposed
+// methods can also be applied to GRUs with simple adjustment").
+//
+// The GRU cell:
+//
+//	z_t = sigma(W_z x_t + U_z h_{t-1} + b_z)        (update gate)
+//	r_t = sigma(W_r x_t + U_r h_{t-1} + b_r)        (reset gate)
+//	~h_t = tanh(W_h x_t + U_h (r_t .* h_{t-1}) + b_h)
+//	h_t  = (1 - z_t) .* h_{t-1} + z_t .* ~h_t
+//
+// The adjustments:
+//
+//   - Inter-cell: the context link carries h_{t-1} both directly (the
+//     (1-z) carry) and through the gates. A link is weak for element j
+//     only if the update gate is pinned open (z_t[j] ~ 1, killing the
+//     carry) AND the candidate's activation input range is saturated.
+//     Relevance mirrors Algorithm 2's overlap geometry over those two
+//     conditions.
+//   - Intra-cell (DRS): the update gate plays the output-filter role.
+//     Where z_t[j] < alpha, h_t[j] ~ h_{t-1}[j] and the candidate row j
+//     of U_h need not be loaded or computed — the skip approximates
+//     h_t[j] by its carry, not by zero. Only the U_h block (a third of
+//     the united matrix) is skippable, so GRU-DRS compresses less than
+//     LSTM-DRS, but the skip is also gentler on accuracy.
+package gru
+
+import (
+	"fmt"
+
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// Layer holds one GRU layer's weights, shared by all unrolled cells.
+type Layer struct {
+	Hidden, Input int
+
+	Wz, Wr, Wh *tensor.Matrix // (Hidden x Input)
+	Uz, Ur, Uh *tensor.Matrix // (Hidden x Hidden)
+	Bz, Br, Bh tensor.Vector
+}
+
+// NewLayer returns a zero-weight layer.
+func NewLayer(hidden, input int) *Layer {
+	return &Layer{
+		Hidden: hidden, Input: input,
+		Wz: tensor.NewMatrix(hidden, input), Wr: tensor.NewMatrix(hidden, input),
+		Wh: tensor.NewMatrix(hidden, input),
+		Uz: tensor.NewMatrix(hidden, hidden), Ur: tensor.NewMatrix(hidden, hidden),
+		Uh: tensor.NewMatrix(hidden, hidden),
+		Bz: tensor.NewVector(hidden), Br: tensor.NewVector(hidden), Bh: tensor.NewVector(hidden),
+	}
+}
+
+// UnitedUBytes is the footprint of the united U_{z,r,h} matrix.
+func (l *Layer) UnitedUBytes() int64 {
+	return 3 * int64(l.Hidden) * int64(l.Hidden) * 4
+}
+
+// Network is a stack of GRU layers with a linear head.
+type Network struct {
+	Layers   []*Layer
+	Head     *tensor.Matrix
+	HeadBias tensor.Vector
+}
+
+// NewNetwork builds a zero-weight GRU network.
+func NewNetwork(input, hidden, layers, classes int) *Network {
+	if layers < 1 || classes < 1 {
+		panic("gru: network needs at least one layer and one class")
+	}
+	n := &Network{}
+	in := input
+	for i := 0; i < layers; i++ {
+		n.Layers = append(n.Layers, NewLayer(hidden, in))
+		in = hidden
+	}
+	n.Head = tensor.NewMatrix(classes, hidden)
+	n.HeadBias = tensor.NewVector(classes)
+	return n
+}
+
+// InitRandom fills the network with the synthetic trained-weight
+// distribution, mirroring the LSTM generator: linkScale sets the
+// per-layer recurrent magnitude, carryFrac the fraction of units whose
+// update-gate bias sits low (z ~ 0, DRS-carry-prone).
+func (n *Network) InitRandom(r *rng.RNG, linkScale func(layer int) float64, carryFrac float64) {
+	for li, l := range n.Layers {
+		d := 1.0
+		if linkScale != nil {
+			d = linkScale(li)
+		}
+		initLayer(r.Split(), l, d, carryFrac)
+	}
+	hr := r.Split()
+	scale := 1.4 / sqrtf(float64(n.Head.Cols))
+	for i := range n.Head.Data {
+		n.Head.Data[i] = hr.NormF32(0, scale)
+	}
+	for i := range n.HeadBias {
+		n.HeadBias[i] = hr.NormF32(0, 0.1)
+	}
+}
+
+func initLayer(r *rng.RNG, l *Layer, dTarget, carryFrac float64) {
+	h := float64(l.Hidden)
+	sigmaU := dTarget / (h * 0.7979)
+	for _, u := range []*tensor.Matrix{l.Uz, l.Ur, l.Uh} {
+		for i := range u.Data {
+			u.Data[i] = r.NormF32(0, sigmaU)
+		}
+	}
+	sigmaW := 1.2 / sqrtf(float64(l.Input))
+	for _, w := range []*tensor.Matrix{l.Wz, l.Wr, l.Wh} {
+		for i := range w.Data {
+			w.Data[i] = r.NormF32(0, sigmaW)
+		}
+	}
+	// Update-gate bias spread places ~carryFrac of units below the
+	// mid DRS threshold (z < 0.25: carry-dominated, DRS-trivial
+	// candidate rows). The anchor is deliberately higher than the
+	// LSTM's: a unit with z pinned at 0 carries its state forever, so
+	// its context link can never be cut — keeping most carry units at
+	// z ~ 0.1-0.25 bounds the carry memory to a few cells.
+	muZ := logit(0.25) - probit(carryFrac)*2.0
+	for j := 0; j < l.Hidden; j++ {
+		l.Bz[j] = r.NormF32(muZ, 1.6)
+		l.Br[j] = r.NormF32(0.2, 0.4)
+		l.Bh[j] = r.NormF32(0, 0.3)
+	}
+}
+
+// RunOptions selects the execution mode (mirrors lstm.RunOptions).
+type RunOptions struct {
+	Inter      bool
+	AlphaInter float64
+	MTS        int
+	Predictors []intercell.Predictor // only the H vector is used
+
+	Intra      bool
+	AlphaIntra float64
+
+	Trace *Trace
+}
+
+// Baseline returns exact-flow options.
+func Baseline() RunOptions { return RunOptions{} }
+
+// Trace records structural decisions (see lstm.Trace).
+type Trace struct {
+	Layers []LayerTrace
+}
+
+// LayerTrace is the per-layer record.
+type LayerTrace struct {
+	Layer         int
+	Cells         int
+	Relevance     []float64
+	Breakpoints   []int
+	SublayerSizes []int
+	TissueSizes   []int
+	SkipCounts    []int
+}
+
+// Run executes the network on one sequence and returns the logits.
+func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
+	if len(xs) == 0 {
+		panic("gru: empty input sequence")
+	}
+	if opt.Inter {
+		if opt.MTS < 1 {
+			panic("gru: Inter mode requires MTS >= 1")
+		}
+		if len(opt.Predictors) != len(n.Layers) {
+			panic(fmt.Sprintf("gru: %d predictors for %d layers", len(opt.Predictors), len(n.Layers)))
+		}
+	}
+	seq := xs
+	for li, l := range n.Layers {
+		var lt *LayerTrace
+		if opt.Trace != nil {
+			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
+			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
+		}
+		seq = n.runLayer(li, l, seq, opt, lt)
+	}
+	last := seq[len(seq)-1]
+	logits := tensor.NewVector(n.Head.Rows)
+	tensor.Gemv(logits, n.Head, last)
+	tensor.Add(logits, logits, n.HeadBias)
+	return logits
+}
+
+// Classify returns the argmax class.
+func (n *Network) Classify(xs []tensor.Vector, opt RunOptions) int {
+	return tensor.ArgMax(n.Run(xs, opt))
+}
+
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace) []tensor.Vector {
+	nCells := len(xs)
+	h := l.Hidden
+
+	xz := make([]tensor.Vector, nCells)
+	xr := make([]tensor.Vector, nCells)
+	xh := make([]tensor.Vector, nCells)
+	for t, x := range xs {
+		xz[t], xr[t], xh[t] = tensor.NewVector(h), tensor.NewVector(h), tensor.NewVector(h)
+		tensor.Gemv(xz[t], l.Wz, x)
+		tensor.Gemv(xr[t], l.Wr, x)
+		tensor.Gemv(xh[t], l.Wh, x)
+	}
+
+	var subs [][]int
+	if opt.Inter && nCells > 1 {
+		an := newAnalyzer(l)
+		rel := make([]float64, nCells-1)
+		for t := 1; t < nCells; t++ {
+			rel[t-1] = an.relevance(xz[t], xr[t], xh[t])
+		}
+		breaks := intercell.Breakpoints(rel, opt.AlphaInter)
+		subs = intercell.Sublayers(nCells, breaks)
+		if lt != nil {
+			lt.Relevance = rel
+			lt.Breakpoints = breaks
+		}
+	} else {
+		subs = intercell.Sublayers(nCells, nil)
+	}
+	var tissues [][]int
+	if opt.Inter {
+		tissues = intercell.AlignTissues(subs, opt.MTS)
+	} else {
+		tissues = intercell.AlignTissues(subs, 1)
+	}
+	if lt != nil {
+		lt.SublayerSizes = intercell.TissueSizes(subs)
+		lt.TissueSizes = intercell.TissueSizes(tissues)
+	}
+
+	subOf := make([]int, nCells)
+	for si, s := range subs {
+		for _, c := range s {
+			subOf[c] = si
+		}
+	}
+	states := make([]tensor.Vector, len(subs))
+	for si := range states {
+		if si == 0 || !opt.Inter {
+			states[si] = tensor.NewVector(h)
+			continue
+		}
+		states[si] = opt.Predictors[li].H.Clone()
+	}
+
+	hs := make([]tensor.Vector, nCells)
+	uz := tensor.NewVector(h)
+	ur := tensor.NewVector(h)
+	uh := tensor.NewVector(h)
+	rh := tensor.NewVector(h)
+	zs := make([]tensor.Vector, 0, opt.MTS+1)
+	rs := make([]tensor.Vector, 0, opt.MTS+1)
+
+	for _, tissue := range tissues {
+		// z and r first for every cell in the tissue: z gates the DRS
+		// decision, and both need only h_{t-1}.
+		zs, rs = zs[:0], rs[:0]
+		for _, cell := range tissue {
+			hPrev := states[subOf[cell]]
+			tensor.Gemv(uz, l.Uz, hPrev)
+			tensor.Gemv(ur, l.Ur, hPrev)
+			z := tensor.NewVector(h)
+			rv := tensor.NewVector(h)
+			for j := 0; j < h; j++ {
+				z[j] = tensor.Sigmoid(xz[cell][j] + uz[j] + l.Bz[j])
+				rv[j] = tensor.Sigmoid(xr[cell][j] + ur[j] + l.Br[j])
+			}
+			zs = append(zs, z)
+			rs = append(rs, rv)
+		}
+		// The tissue's shared skip set: candidate rows whose update gate
+		// is near zero for every cell in the tissue.
+		var skip []bool
+		var skipCount int
+		if opt.Intra {
+			skip, skipCount = tissueCarryRows(zs, opt.AlphaIntra)
+		}
+		if lt != nil && (opt.Intra || opt.Inter) {
+			lt.SkipCounts = append(lt.SkipCounts, skipCount)
+		}
+		for ci, cell := range tissue {
+			hPrev := states[subOf[cell]]
+			tensor.Mul(rh, rs[ci], hPrev)
+			tensor.GemvRows(uh, l.Uh, rh, skip, 0)
+			z := zs[ci]
+			hNew := tensor.NewVector(h)
+			for j := 0; j < h; j++ {
+				if skip != nil && skip[j] {
+					// Carry: h_t[j] ~ h_{t-1}[j] since z[j] ~ 0.
+					hNew[j] = hPrev[j]
+					continue
+				}
+				cand := tensor.Tanh(xh[cell][j] + uh[j] + l.Bh[j])
+				hNew[j] = (1-z[j])*hPrev[j] + z[j]*cand
+			}
+			states[subOf[cell]] = hNew
+			hs[cell] = hNew.Clone()
+		}
+	}
+	return hs
+}
+
+// tissueCarryRows marks candidate rows skippable for a whole tissue: the
+// update gate must be near zero for every cell in it.
+func tissueCarryRows(zs []tensor.Vector, alpha float64) ([]bool, int) {
+	if alpha <= 0 || len(zs) == 0 {
+		return nil, 0
+	}
+	a := float32(alpha)
+	dim := len(zs[0])
+	skip := make([]bool, dim)
+	count := 0
+	for j := 0; j < dim; j++ {
+		carry := true
+		for _, z := range zs {
+			if z[j] >= a {
+				carry = false
+				break
+			}
+		}
+		if carry {
+			skip[j] = true
+			count++
+		}
+	}
+	return skip, count
+}
+
+// CollectPredictors runs the exact flow over the sequences and returns
+// the Eq. 6 mean-link predictor per layer (GRUs have no cell state, so
+// only the H vector is meaningful).
+func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predictor {
+	stats := make([]*intercell.LinkStats, len(n.Layers))
+	for i, l := range n.Layers {
+		stats[i] = intercell.NewLinkStats(l.Hidden)
+	}
+	zero := map[int]tensor.Vector{}
+	for i, l := range n.Layers {
+		zero[i] = tensor.NewVector(l.Hidden)
+	}
+	for _, xs := range samples {
+		seq := xs
+		for li, l := range n.Layers {
+			hs := n.runLayer(li, l, seq, Baseline(), nil)
+			for _, h := range hs {
+				stats[li].Observe(h, zero[li])
+			}
+			seq = hs
+		}
+	}
+	out := make([]intercell.Predictor, len(n.Layers))
+	for i, s := range stats {
+		out[i] = s.Predictor()
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package intercell
+
+// Breakpoints returns the cell indices whose incoming context link is
+// weak: cell t is a breakpoint iff S[t-1] < alpha, where S[t-1] is the
+// relevance of the link from cell t-1 into cell t. Indices are in (0, n)
+// where n = len(S)+1 cells.
+func Breakpoints(s []float64, alpha float64) []int {
+	var out []int
+	for i, v := range s {
+		if v < alpha {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// Sublayers splits n cells at the given breakpoints (ascending cell
+// indices in (0, n)) into contiguous runs. Each sub-layer is the slice of
+// cell indices it contains, in timestamp order.
+func Sublayers(n int, breaks []int) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	var subs [][]int
+	start := 0
+	for _, b := range breaks {
+		if b <= start || b >= n {
+			continue
+		}
+		subs = append(subs, cellRange(start, b))
+		start = b
+	}
+	subs = append(subs, cellRange(start, n))
+	return subs
+}
+
+func cellRange(lo, hi int) []int {
+	r := make([]int, hi-lo)
+	for i := range r {
+		r[i] = lo + i
+	}
+	return r
+}
+
+// FormTissues fuses the sub-layers into tissues (§IV-C, Fig. 8): tissue k
+// contains the k-th cell of every sub-layer that has one. The result
+// preserves each sub-layer's internal order (cell j of a sub-layer lands
+// in tissue j), so the data dependency across cells of a sub-layer becomes
+// a dependency across tissues.
+func FormTissues(sublayers [][]int) [][]int {
+	maxLen := 0
+	for _, s := range sublayers {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	tissues := make([][]int, maxLen)
+	for k := 0; k < maxLen; k++ {
+		for _, s := range sublayers {
+			if k < len(s) {
+				tissues[k] = append(tissues[k], s[k])
+			}
+		}
+	}
+	return tissues
+}
+
+// AlignTissues rebalances the raw tissue sequence so no tissue exceeds mts
+// cells (§IV-C, "tissue alignment"): cells are moved from fat tissues into
+// later, thinner ones. The scheduling constraint is the per-sub-layer
+// order — the j-th cell of a sub-layer may only execute in a tissue
+// strictly after the (j-1)-th — which alignment never violates, and it
+// breaks no additional context links.
+//
+// The scheduler is greedy list scheduling: tissues are filled in order,
+// each sub-layer's next cell going to the earliest tissue after its
+// predecessor with spare capacity. The tissue count is
+// max(longest sub-layer, ceil(total/mts)), the paper's N_min when the
+// division is rich enough.
+func AlignTissues(sublayers [][]int, mts int) [][]int {
+	if mts < 1 {
+		mts = 1
+	}
+	total := 0
+	maxLen := 0
+	for _, s := range sublayers {
+		total += len(s)
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	k := (total + mts - 1) / mts
+	if maxLen > k {
+		k = maxLen
+	}
+	for {
+		tissues, ok := trySchedule(sublayers, mts, k)
+		if ok {
+			return tissues
+		}
+		k++
+	}
+}
+
+// trySchedule attempts to place every cell into k tissues of capacity mts.
+func trySchedule(sublayers [][]int, mts, k int) ([][]int, bool) {
+	tissues := make([][]int, k)
+	load := make([]int, k)
+	// Longest sub-layers are the tightest chains; schedule them first so
+	// their cells claim the slots they need.
+	order := make([]int, len(sublayers))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && len(sublayers[order[j]]) > len(sublayers[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, si := range order {
+		sub := sublayers[si]
+		slot := -1
+		for _, cell := range sub {
+			placed := false
+			for t := slot + 1; t < k; t++ {
+				if load[t] < mts {
+					tissues[t] = append(tissues[t], cell)
+					load[t]++
+					slot = t
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, false
+			}
+		}
+	}
+	// Drop empty tissues (possible when chains force sparse placement).
+	out := tissues[:0]
+	for _, t := range tissues {
+		if len(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out, true
+}
+
+// TissueSizes returns the size of each tissue.
+func TissueSizes(tissues [][]int) []int {
+	out := make([]int, len(tissues))
+	for i, t := range tissues {
+		out[i] = len(t)
+	}
+	return out
+}

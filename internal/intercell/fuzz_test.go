@@ -1,0 +1,52 @@
+package intercell
+
+import "testing"
+
+// FuzzAlignTissues feeds arbitrary divisions to the alignment scheduler:
+// every cell must appear exactly once, capacity and per-sub-layer order
+// must hold, for any break pattern and MTS.
+func FuzzAlignTissues(f *testing.F) {
+	f.Add(uint16(20), []byte{3, 7, 11}, uint8(4))
+	f.Add(uint16(1), []byte{}, uint8(1))
+	f.Add(uint16(200), []byte{1, 2, 3, 4, 5, 6}, uint8(9))
+	f.Fuzz(func(t *testing.T, nRaw uint16, breakBytes []byte, mtsRaw uint8) {
+		n := int(nRaw%300) + 1
+		mts := int(mtsRaw%12) + 1
+		var breaks []int
+		prev := 0
+		for _, b := range breakBytes {
+			prev += int(b%17) + 1
+			if prev >= n {
+				break
+			}
+			breaks = append(breaks, prev)
+		}
+		subs := Sublayers(n, breaks)
+		tissues := AlignTissues(subs, mts)
+		pos := make(map[int]int, n)
+		count := 0
+		for ti, tis := range tissues {
+			if len(tis) > mts {
+				t.Fatalf("tissue %d size %d > MTS %d", ti, len(tis), mts)
+			}
+			for _, c := range tis {
+				if _, dup := pos[c]; dup {
+					t.Fatalf("cell %d scheduled twice", c)
+				}
+				pos[c] = ti
+				count++
+			}
+		}
+		if count != n {
+			t.Fatalf("scheduled %d cells of %d", count, n)
+		}
+		for _, s := range subs {
+			for i := 1; i < len(s); i++ {
+				if pos[s[i]] <= pos[s[i-1]] {
+					t.Fatalf("dependency violated: cell %d at tissue %d after cell %d at %d",
+						s[i], pos[s[i]], s[i-1], pos[s[i-1]])
+				}
+			}
+		}
+	})
+}

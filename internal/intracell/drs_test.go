@@ -1,0 +1,189 @@
+package intracell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+func TestTrivialRowsBasic(t *testing.T) {
+	o := tensor.Vector{0.01, 0.5, 0.09, 0.3}
+	skip, n := TrivialRows(o, 0.1)
+	if n != 2 || !skip[0] || skip[1] || !skip[2] || skip[3] {
+		t.Fatalf("skip=%v n=%d", skip, n)
+	}
+}
+
+func TestTrivialRowsDisabled(t *testing.T) {
+	o := tensor.Vector{0.01, 0.5}
+	if skip, n := TrivialRows(o, 0); skip != nil || n != 0 {
+		t.Fatal("alpha 0 skipped rows")
+	}
+	if skip, n := TrivialRows(o, -1); skip != nil || n != 0 {
+		t.Fatal("negative alpha skipped rows")
+	}
+}
+
+func TestTrivialRowsBoundary(t *testing.T) {
+	// Strictly-below semantics: o == alpha is kept.
+	o := tensor.Vector{0.1}
+	if _, n := TrivialRows(o, 0.1); n != 0 {
+		t.Fatal("o == alpha skipped")
+	}
+}
+
+func TestTissueTrivialRowsIntersection(t *testing.T) {
+	os := []tensor.Vector{
+		{0.01, 0.5, 0.05},
+		{0.02, 0.02, 0.5},
+	}
+	skip, n := TissueTrivialRows(os, 0.1)
+	// Only element 0 is trivial in every cell.
+	if n != 1 || !skip[0] || skip[1] || skip[2] {
+		t.Fatalf("skip=%v n=%d", skip, n)
+	}
+}
+
+func TestTissueTrivialRowsSingleCellMatchesPerCell(t *testing.T) {
+	r := rng.New(5)
+	o := tensor.NewVector(64)
+	for i := range o {
+		o[i] = r.Float32()
+	}
+	s1, n1 := TrivialRows(o, 0.3)
+	s2, n2 := TissueTrivialRows([]tensor.Vector{o}, 0.3)
+	if n1 != n2 {
+		t.Fatalf("counts differ: %d vs %d", n1, n2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("skip sets differ at %d", i)
+		}
+	}
+}
+
+func TestTissueTrivialRowsEmpty(t *testing.T) {
+	if skip, n := TissueTrivialRows(nil, 0.1); skip != nil || n != 0 {
+		t.Fatal("empty tissue skipped rows")
+	}
+}
+
+// Property: the tissue intersection never skips more rows than any single
+// cell would.
+func TestTissueIntersectionSubsetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(40)
+		cells := 1 + r.Intn(5)
+		os := make([]tensor.Vector, cells)
+		for c := range os {
+			os[c] = tensor.NewVector(dim)
+			for j := range os[c] {
+				os[c][j] = r.Float32()
+			}
+		}
+		alpha := 0.05 + 0.4*r.Float64()
+		tSkip, tN := TissueTrivialRows(os, alpha)
+		for _, o := range os {
+			cSkip, cN := TrivialRows(o, alpha)
+			if tN > cN {
+				return false
+			}
+			for j := range tSkip {
+				if tSkip[j] && !cSkip[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Values: quickSeedVals()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipFraction(t *testing.T) {
+	if f := SkipFraction(5, 10); f != 0.5 {
+		t.Fatalf("SkipFraction = %v", f)
+	}
+	if f := SkipFraction(1, 0); f != 0 {
+		t.Fatalf("SkipFraction div0 = %v", f)
+	}
+}
+
+func TestPruneMatrix(t *testing.T) {
+	m := tensor.NewMatrix(2, 2)
+	copy(m.Data, []float32{0.05, -0.5, 0.2, -0.01})
+	p, density := PruneMatrix(m, 0.1)
+	if p.Data[0] != 0 || p.Data[3] != 0 {
+		t.Fatalf("small elements kept: %v", p.Data)
+	}
+	if p.Data[1] != -0.5 || p.Data[2] != 0.2 {
+		t.Fatalf("large elements changed: %v", p.Data)
+	}
+	if density != 0.5 {
+		t.Fatalf("density %v", density)
+	}
+	// Original untouched.
+	if m.Data[0] != 0.05 {
+		t.Fatal("PruneMatrix mutated input")
+	}
+}
+
+func TestPruneDensityConsistency(t *testing.T) {
+	r := rng.New(7)
+	m := tensor.NewMatrix(50, 50)
+	for i := range m.Data {
+		m.Data[i] = r.NormF32(0, 1)
+	}
+	_, d1 := PruneMatrix(m, 0.5)
+	d2 := PruneDensity([]*tensor.Matrix{m}, 0.5)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("densities differ: %v vs %v", d1, d2)
+	}
+}
+
+func TestPruneEpsForDensity(t *testing.T) {
+	r := rng.New(9)
+	ms := []*tensor.Matrix{tensor.NewMatrix(80, 80), tensor.NewMatrix(80, 80)}
+	for _, m := range ms {
+		for i := range m.Data {
+			m.Data[i] = r.NormF32(0, 0.3)
+		}
+	}
+	for _, target := range []float64{0.2, 0.315, 0.7} {
+		eps := PruneEpsForDensity(ms, target)
+		got := PruneDensity(ms, eps)
+		if math.Abs(got-target) > 0.02 {
+			t.Errorf("target %v: got density %v (eps %v)", target, got, eps)
+		}
+	}
+}
+
+func TestPruneEpsForDensityEdges(t *testing.T) {
+	ms := []*tensor.Matrix{tensor.NewMatrix(4, 4)}
+	if eps := PruneEpsForDensity(ms, 0); !math.IsInf(float64(eps), 1) {
+		t.Fatalf("density 0 eps = %v", eps)
+	}
+	if eps := PruneEpsForDensity(ms, 1); eps != 0 {
+		t.Fatalf("density 1 eps = %v", eps)
+	}
+}
+
+// Gaussian weights pruned at ~1.016 sigma leave ~31.5% density — the
+// calibration behind the paper's 37% data-movement reduction under
+// value+index CSR (0.315 * 2 = 0.63).
+func TestGaussianPruneMatchesAnalytic(t *testing.T) {
+	r := rng.New(11)
+	m := tensor.NewMatrix(200, 200)
+	for i := range m.Data {
+		m.Data[i] = r.NormF32(0, 1)
+	}
+	d := PruneDensity([]*tensor.Matrix{m}, 1.016)
+	if math.Abs(d-0.315) > 0.02 {
+		t.Fatalf("density at 1.016 sigma = %v, want ~0.315", d)
+	}
+}

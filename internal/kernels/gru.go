@@ -1,0 +1,129 @@
+package kernels
+
+import "mobilstm/internal/gpu"
+
+// GRU kernel models (§II-B: "the proposed methods can also be applied to
+// GRUs with simple adjustment"). A GRU cell has three gates, so the
+// united recurrent matrix U_{z,r,h} is (3H x H) — 25% smaller than the
+// LSTM's — but the same memory pathology applies: it re-loads every cell
+// in the baseline flow.
+//
+// The DRS adjustment differs from the LSTM's: the update gate z_t plays
+// the output-filter role (h_t = (1-z_t)*h_{t-1} + z_t*~h_t), so when
+// z_t[j] is near zero the candidate row j of U_h need not be computed at
+// all — h_t[j] just carries h_{t-1}[j]. Only U_h rows are skippable
+// (a third of the united matrix), so GRU-DRS tops out at lower
+// compression than LSTM-DRS.
+
+// GRU kernel group names.
+const (
+	NameGRUSgemmWx = "gru_sgemm_wx"
+	NameGRUSgemvU  = "gru_sgemv_u"
+	NameGRUSgemmT  = "gru_sgemm_tissue"
+	NameGRUEW      = "gru_ew"
+	NameGRUSgemvZR = "gru_sgemv_zr"
+	NameGRUDRS     = "gru_drs"
+	NameGRUSgemvUh = "gru_sgemv_uh"
+)
+
+// GRUSgemmWx is the per-layer input projection W_{z,r,h} x X.
+func (b *Builder) GRUSgemmWx(h, e, n int) gpu.KernelSpec {
+	flops := 2 * 3 * float64(h) * float64(e) * float64(n)
+	return gpu.KernelSpec{
+		Name:        NameGRUSgemmWx,
+		FLOPs:       flops,
+		DRAMBytes:   float64(12*h*e) + float64(4*e*n) + float64(12*h*n),
+		SharedBytes: flops * f32 / gemmRegTile,
+		Threads:     3 * h,
+		Barriers:    2,
+	}
+}
+
+// GRUSgemvU is the baseline per-cell united gemv U_{z,r,h} x h_{t-1}.
+func (b *Builder) GRUSgemvU(h int) gpu.KernelSpec {
+	hh := float64(h) * float64(h)
+	return gpu.KernelSpec{
+		Name:        NameGRUSgemvU,
+		FLOPs:       2 * 3 * hh,
+		DRAMBytes:   12*hh + float64(4*h) + float64(12*h),
+		SharedBytes: 12 * hh,
+		Threads:     3 * h,
+		Barriers:    1,
+	}
+}
+
+// GRUSgemmTissue is the per-tissue batched gemm of the inter-cell
+// optimization applied to a GRU layer.
+func (b *Builder) GRUSgemmTissue(h, t int) (gpu.KernelSpec, bool) {
+	return b.tissueGemm(NameGRUSgemmT, 3*h, h, t, 1)
+}
+
+// GRUEW is the element-wise gate math for t cells.
+func (b *Builder) GRUEW(h, t int) gpu.KernelSpec {
+	elems := float64(h) * float64(t)
+	return gpu.KernelSpec{
+		Name:       NameGRUEW,
+		FLOPs:      22 * elems, // z, r, candidate mix + interpolation
+		DRAMBytes:  4 * elems,
+		L2HitBytes: 16 * elems,
+		Threads:    h * t,
+	}
+}
+
+// GRUSgemvZR is the DRS flow's first kernel: U_{z,r} x h_{t-1} (two of
+// the three gate blocks), so z_t exists before U_h is touched.
+func (b *Builder) GRUSgemvZR(h int) gpu.KernelSpec {
+	hh := float64(h) * float64(h)
+	return gpu.KernelSpec{
+		Name:        NameGRUSgemvZR,
+		FLOPs:       2 * 2 * hh,
+		DRAMBytes:   8*hh + float64(4*h) + float64(8*h),
+		SharedBytes: 8 * hh,
+		Threads:     2 * h,
+		Barriers:    1,
+	}
+}
+
+// GRUDRS is the z_t threshold scan emitting the carry-row list.
+func (b *Builder) GRUDRS(h, trivial int) gpu.KernelSpec {
+	return gpu.KernelSpec{
+		Name:        NameGRUDRS,
+		FLOPs:       2 * float64(h),
+		L2HitBytes:  4 * float64(h),
+		DRAMBytes:   4 * float64(trivial),
+		Threads:     h,
+		ExtraCycles: 200,
+	}
+}
+
+// GRUSgemvUh is the candidate gemv U_h x (r .* h_{t-1}) with skipRows of
+// the H rows disabled under the given DRS mode.
+func (b *Builder) GRUSgemvUh(h, skipRows int, mode DRSMode) gpu.KernelSpec {
+	if skipRows < 0 {
+		skipRows = 0
+	}
+	if skipRows > h {
+		skipRows = h
+	}
+	live := h - skipRows
+	spec := gpu.KernelSpec{
+		Name:        NameGRUSgemvUh,
+		FLOPs:       2 * float64(live) * float64(h),
+		DRAMBytes:   float64(live)*float64(h)*f32 + float64(4*h) + float64(live)*f32,
+		SharedBytes: float64(live) * float64(h) * f32,
+		Threads:     live,
+		Barriers:    1,
+	}
+	switch mode {
+	case DRSHardware:
+		spec.ExtraCycles = b.crm.Reorganize(h, skipRows)
+		spec.Threads = b.crm.CompactedThreads(h, skipRows)
+	case DRSSoftware:
+		if live > 0 {
+			spec.ComputeScale = float64(h) / float64(live)
+		}
+		spec.EffectiveDRAMFrac = swDRSCoalesceFrac
+		spec.Threads = h
+	}
+	return spec
+}

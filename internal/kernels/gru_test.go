@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"testing"
+
+	"mobilstm/internal/gpu"
+)
+
+func TestGRUUnitedSmallerThanLSTM(t *testing.T) {
+	b := builder()
+	lstm := b.SgemvU(512)
+	gru := b.GRUSgemvU(512)
+	// 3 gates vs 4: the GRU united matrix is 25% smaller.
+	ratio := gru.DRAMBytes / lstm.DRAMBytes
+	if ratio < 0.72 || ratio > 0.78 {
+		t.Fatalf("GRU/LSTM traffic ratio %v, want ~0.75", ratio)
+	}
+}
+
+func TestGRUSgemvDRAMBound(t *testing.T) {
+	sim := gpu.NewSimulator(gpu.TegraX1())
+	_, krs := sim.RunResults([]gpu.KernelSpec{builder().GRUSgemvU(512)})
+	if krs[0].DRAMUtil < 0.9 {
+		t.Fatalf("GRU Sgemv DRAM util %v", krs[0].DRAMUtil)
+	}
+}
+
+func TestGRUTissueReconfigures(t *testing.T) {
+	b := builder()
+	reconfAt := 0
+	for tt := 1; tt <= 12; tt++ {
+		if _, re := b.GRUSgemmTissue(512, tt); re {
+			reconfAt = tt
+			break
+		}
+	}
+	if reconfAt < 4 || reconfAt > 8 {
+		t.Fatalf("GRU MTS neighbourhood: reconfig at %d", reconfAt)
+	}
+}
+
+func TestGRUDRSHardwareBeatsSoftware(t *testing.T) {
+	sim := gpu.NewSimulator(gpu.TegraX1())
+	b := builder()
+	h := 512
+	skip := h / 2
+	hw := sim.Run([]gpu.KernelSpec{b.GRUSgemvUh(h, skip, DRSHardware)})
+	sw := sim.Run([]gpu.KernelSpec{b.GRUSgemvUh(h, skip, DRSSoftware)})
+	dense := sim.Run([]gpu.KernelSpec{b.GRUSgemvUh(h, 0, DRSHardware)})
+	if !(hw.Cycles < sw.Cycles && hw.Cycles < dense.Cycles) {
+		t.Fatalf("GRU DRS ordering: hw %v sw %v dense %v", hw.Cycles, sw.Cycles, dense.Cycles)
+	}
+}
+
+func TestGRUDRSFlowBeatsBaselinePerCell(t *testing.T) {
+	// The split flow (U_{z,r} then skipped U_h) must beat the united
+	// per-cell gemv when half the candidate rows are trivial.
+	sim := gpu.NewSimulator(gpu.TegraX1())
+	b := builder()
+	h := 650
+	base := sim.Run([]gpu.KernelSpec{b.GRUSgemvU(h), b.GRUEW(h, 1)})
+	drs := sim.Run([]gpu.KernelSpec{
+		b.GRUSgemvZR(h), b.GRUEW(h, 1), b.GRUDRS(h, h/2),
+		b.GRUSgemvUh(h, h/2, DRSHardware), b.GRUEW(h, 1),
+	})
+	if drs.Cycles >= base.Cycles {
+		t.Fatalf("GRU DRS flow slower: %v vs %v", drs.Cycles, base.Cycles)
+	}
+	// But the ceiling is lower than LSTM DRS (only a third of the matrix
+	// is skippable).
+	if base.Cycles/drs.Cycles > 1.5 {
+		t.Fatalf("GRU DRS gain %v implausibly high", base.Cycles/drs.Cycles)
+	}
+}
+
+func TestGRUSkipClamps(t *testing.T) {
+	b := builder()
+	if k := b.GRUSgemvUh(64, 1000, DRSHardware); k.FLOPs != 0 {
+		t.Fatal("over-skip not clamped")
+	}
+	if k := b.GRUSgemvUh(64, -2, DRSHardware); k.FLOPs != b.GRUSgemvUh(64, 0, DRSHardware).FLOPs {
+		t.Fatal("negative skip not clamped")
+	}
+}

@@ -1,0 +1,249 @@
+// Package lstm implements the LSTM inference library: cell math (Eqs. 1-5
+// of the paper), multi-layer networks, and the four execution modes the
+// paper evaluates — the baseline cuDNN-style flow (Algorithm 1), the
+// inter-cell tissue-parallel flow (§IV), the intra-cell Dynamic Row Skip
+// flow (Algorithm 3), and their combination.
+//
+// All modes run real float32 arithmetic, so accuracy under approximation
+// is measured rather than asserted: the optimized flows produce genuinely
+// different numbers and the accuracy harness scores them against the
+// exact baseline.
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// Layer holds the weights of one LSTM layer, shared by every unrolled
+// cell of that layer (the sharing that makes the re-load problem).
+type Layer struct {
+	Hidden, Input int
+
+	// W_g: input projections (Hidden x Input).
+	Wf, Wi, Wc, Wo *tensor.Matrix
+	// U_g: recurrent projections (Hidden x Hidden) — the united
+	// U_{f,i,c,o} of the paper is their row-wise concatenation.
+	Uf, Ui, Uc, Uo *tensor.Matrix
+	// b_g: biases (Hidden).
+	Bf, Bi, Bc, Bo tensor.Vector
+}
+
+// NewLayer returns a zero-weight layer of the given shape.
+func NewLayer(hidden, input int) *Layer {
+	return &Layer{
+		Hidden: hidden, Input: input,
+		Wf: tensor.NewMatrix(hidden, input), Wi: tensor.NewMatrix(hidden, input),
+		Wc: tensor.NewMatrix(hidden, input), Wo: tensor.NewMatrix(hidden, input),
+		Uf: tensor.NewMatrix(hidden, hidden), Ui: tensor.NewMatrix(hidden, hidden),
+		Uc: tensor.NewMatrix(hidden, hidden), Uo: tensor.NewMatrix(hidden, hidden),
+		Bf: tensor.NewVector(hidden), Bi: tensor.NewVector(hidden),
+		Bc: tensor.NewVector(hidden), Bo: tensor.NewVector(hidden),
+	}
+}
+
+// UnitedUBytes is the footprint of the united recurrent matrix
+// U_{f,i,c,o} — the per-cell re-load the inter-cell optimization targets.
+func (l *Layer) UnitedUBytes() int64 {
+	return 4 * int64(l.Hidden) * int64(l.Hidden) * 4
+}
+
+// UnitedWBytes is the footprint of the united input matrix W_{f,i,c,o}.
+func (l *Layer) UnitedWBytes() int64 {
+	return 4 * int64(l.Hidden) * int64(l.Input) * 4
+}
+
+// UMatrices returns the four recurrent matrices in f,i,c,o order.
+func (l *Layer) UMatrices() []*tensor.Matrix {
+	return []*tensor.Matrix{l.Uf, l.Ui, l.Uc, l.Uo}
+}
+
+// Analyzer builds the Algorithm 2 relevance analyzer for this layer.
+func (l *Layer) Analyzer() *intercell.Analyzer {
+	return intercell.NewAnalyzer(l.Uf, l.Ui, l.Uc, l.Uo, l.Bf, l.Bi, l.Bc, l.Bo)
+}
+
+// Network is a stack of LSTM layers with a linear classification head on
+// the final hidden state.
+type Network struct {
+	Layers []*Layer
+	// Head maps the last layer's final hidden state to class logits
+	// (Classes x Hidden).
+	Head     *tensor.Matrix
+	HeadBias tensor.Vector
+	// Gate is the activation used for the three gates; the paper
+	// analyses both the exact sigmoid and the hard sigmoid (Fig. 7).
+	Gate tensor.Activation
+}
+
+// NewNetwork builds a zero-weight network: layers stacked hidden->hidden
+// after an input->hidden first layer, and a classification head.
+func NewNetwork(input, hidden, layers, classes int) *Network {
+	if layers < 1 || classes < 1 {
+		panic("lstm: network needs at least one layer and one class")
+	}
+	n := &Network{Gate: tensor.ActSigmoid}
+	in := input
+	for i := 0; i < layers; i++ {
+		n.Layers = append(n.Layers, NewLayer(hidden, in))
+		in = hidden
+	}
+	n.Head = tensor.NewMatrix(classes, hidden)
+	n.HeadBias = tensor.NewVector(classes)
+	return n
+}
+
+// Hidden returns the hidden size (uniform across layers).
+func (n *Network) Hidden() int { return n.Layers[0].Hidden }
+
+// Input returns the first layer's input size.
+func (n *Network) Input() int { return n.Layers[0].Input }
+
+// Classes returns the head's output dimension.
+func (n *Network) Classes() int { return n.Head.Rows }
+
+// Params returns the total parameter count.
+func (n *Network) Params() int64 {
+	var p int64
+	for _, l := range n.Layers {
+		p += 4 * int64(l.Hidden) * int64(l.Input+l.Hidden+1)
+	}
+	p += int64(n.Head.Rows)*int64(n.Head.Cols) + int64(len(n.HeadBias))
+	return p
+}
+
+// InitRandom fills the network with the synthetic "trained" weight
+// distribution described in DESIGN.md §5. The generator knobs:
+//
+//   - linkScale controls the per-layer magnitude of the recurrent
+//     matrices and therefore the D_g row norms Algorithm 2 sees; it grows
+//     with depth (deeper layers carry stronger context links, the Fig. 15
+//     observation).
+//   - trivialFrac is the fraction of hidden units whose output-gate bias
+//     sits deep in the sigmoid's low saturation, making their rows
+//     DRS-trivial for most inputs (the Fig. 16 compression ratio).
+func (n *Network) InitRandom(r *rng.RNG, linkScale func(layer int) float64, trivialFrac float64) {
+	for li, l := range n.Layers {
+		d := 1.0
+		if linkScale != nil {
+			d = linkScale(li)
+		}
+		// Expected RMS of this layer's inputs: the first layer sees raw
+		// token embeddings (unit scale with occasional strong boundary
+		// tokens), deeper layers see bounded hidden outputs. Trained
+		// networks scale their input projections to use the activations'
+		// sensitive range regardless; the generator does the same.
+		inputRMS := 1.8
+		if li > 0 {
+			inputRMS = 0.25
+		}
+		initLayer(r.Split(), l, d, trivialFrac, inputRMS)
+	}
+	// Head: unit-variance rows give well-separated logits.
+	hr := r.Split()
+	scale := 1.4 / sqrtf(float64(n.Head.Cols))
+	for i := range n.Head.Data {
+		n.Head.Data[i] = hr.NormF32(0, scale)
+	}
+	for i := range n.HeadBias {
+		n.HeadBias[i] = hr.NormF32(0, 0.1)
+	}
+}
+
+func initLayer(r *rng.RNG, l *Layer, dTarget, trivialFrac, inputRMS float64) {
+	h := float64(l.Hidden)
+	// Recurrent matrices: choose sigma so the expected per-row L1 norm
+	// E[D] = H * sigma * sqrt(2/pi) equals dTarget.
+	sigmaU := dTarget / (h * 0.7979)
+	for _, u := range l.UMatrices() {
+		for i := range u.Data {
+			u.Data[i] = r.NormF32(0, sigmaU)
+		}
+	}
+	// Input projections: pre-activation contributions with spread ~1.2
+	// at the layer's expected input magnitude, so cells land in a mix of
+	// sensitive and saturated regions.
+	sigmaW := 1.2 / (inputRMS * sqrtf(float64(l.Input)))
+	for _, w := range []*tensor.Matrix{l.Wf, l.Wi, l.Wc, l.Wo} {
+		for i := range w.Data {
+			w.Data[i] = r.NormF32(0, sigmaW)
+		}
+	}
+	// Biases: the forget gate hovers near half-open so state memory
+	// decays over a few cells (bounding how far a predicted-link error
+	// propagates, as in trained LSTMs whose forget gates are selective);
+	// input and candidate sit near zero. The output-gate bias is spread
+	// so the trivial-row population grows smoothly with the DRS
+	// threshold: its mean is placed so that P(o_t < 0.15) ~ trivialFrac
+	// under the typical pre-activation spread sigma_total ~ 2.
+	const sigmaTotal = 2.0
+	muO := logit(0.15) - probit(trivialFrac)*sigmaTotal
+	for j := 0; j < l.Hidden; j++ {
+		l.Bf[j] = r.NormF32(0.4, 0.5)
+		l.Bi[j] = r.NormF32(0, 0.3)
+		l.Bc[j] = r.NormF32(0, 0.3)
+		l.Bo[j] = r.NormF32(muO, 1.6)
+	}
+}
+
+// logit is the inverse sigmoid.
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+// probit is the standard normal quantile function.
+func probit(p float64) float64 {
+	if p <= 0 {
+		return -8
+	}
+	if p >= 1 {
+		return 8
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Sqrt(x)
+}
+
+// Validate checks internal shape consistency, returning a descriptive
+// error for malformed networks (useful when loading external configs).
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("lstm: network has no layers")
+	}
+	in := n.Layers[0].Input
+	for i, l := range n.Layers {
+		if l.Input != in {
+			return fmt.Errorf("lstm: layer %d input %d, want %d", i, l.Input, in)
+		}
+		for _, m := range []*tensor.Matrix{l.Wf, l.Wi, l.Wc, l.Wo} {
+			if m.Rows != l.Hidden || m.Cols != l.Input {
+				return fmt.Errorf("lstm: layer %d W shape %dx%d, want %dx%d", i, m.Rows, m.Cols, l.Hidden, l.Input)
+			}
+		}
+		for _, m := range l.UMatrices() {
+			if m.Rows != l.Hidden || m.Cols != l.Hidden {
+				return fmt.Errorf("lstm: layer %d U shape %dx%d, want %dx%d", i, m.Rows, m.Cols, l.Hidden, l.Hidden)
+			}
+		}
+		for _, b := range []tensor.Vector{l.Bf, l.Bi, l.Bc, l.Bo} {
+			if len(b) != l.Hidden {
+				return fmt.Errorf("lstm: layer %d bias length %d, want %d", i, len(b), l.Hidden)
+			}
+		}
+		in = l.Hidden
+	}
+	if n.Head.Cols != in {
+		return fmt.Errorf("lstm: head cols %d, want %d", n.Head.Cols, in)
+	}
+	if len(n.HeadBias) != n.Head.Rows {
+		return fmt.Errorf("lstm: head bias length %d, want %d", len(n.HeadBias), n.Head.Rows)
+	}
+	return nil
+}

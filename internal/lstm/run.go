@@ -1,0 +1,316 @@
+package lstm
+
+import (
+	"fmt"
+
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/intracell"
+	"mobilstm/internal/tensor"
+)
+
+// RunOptions selects the execution mode and its thresholds.
+type RunOptions struct {
+	// Inter enables the inter-cell optimization: layer division at links
+	// with relevance below AlphaInter, predicted-link recovery, and
+	// tissue re-organization bounded by MTS.
+	Inter      bool
+	AlphaInter float64
+	// MTS is the platform's maximum tissue size (from intercell.FindMTS);
+	// required when Inter is set.
+	MTS int
+	// Predictors supplies the Eq. 6 predicted context link per layer;
+	// required when Inter is set (zero predictors are a valid cold
+	// start, but accuracy suffers — exactly the trade the paper makes).
+	Predictors []intercell.Predictor
+
+	// Intra enables Dynamic Row Skip with the near-zero threshold
+	// AlphaIntra on the output gate.
+	Intra      bool
+	AlphaIntra float64
+
+	// Trace, when non-nil, collects the structural decisions of the run
+	// (relevance values, breakpoints, tissue layout, skip counts) — the
+	// information the paper's PyTorch stage exports to DeepBench, and
+	// that our scheduler replays on the GPU model.
+	Trace *Trace
+}
+
+// Baseline returns options for the exact Algorithm 1 flow.
+func Baseline() RunOptions { return RunOptions{} }
+
+// Trace records the structural decisions of one optimized run.
+type Trace struct {
+	Layers []LayerTrace
+}
+
+// LayerTrace is the per-layer record.
+type LayerTrace struct {
+	Layer int
+	Cells int
+	// Relevance[t-1] is the Algorithm 2 value S of the link into cell t.
+	Relevance []float64
+	// Breakpoints are the cell indices whose incoming link was cut.
+	Breakpoints []int
+	// SublayerSizes and TissueSizes describe the division and the
+	// aligned re-organization.
+	SublayerSizes []int
+	TissueSizes   []int
+	// SkipCounts[k] is the number of trivial hidden elements shared by
+	// tissue k (combined mode) or of cell k (intra-only mode).
+	SkipCounts []int
+}
+
+// Sublayers returns the number of sub-layers the layer divided into.
+func (lt *LayerTrace) Sublayers() int { return len(lt.SublayerSizes) }
+
+// MeanSkipFraction returns the average skipped fraction of hidden
+// elements across the layer's execution units.
+func (lt *LayerTrace) MeanSkipFraction(hidden int) float64 {
+	if len(lt.SkipCounts) == 0 || hidden == 0 {
+		return 0
+	}
+	var s int
+	for _, c := range lt.SkipCounts {
+		s += c
+	}
+	return float64(s) / float64(len(lt.SkipCounts)*hidden)
+}
+
+// Run executes the network on one input sequence and returns the class
+// logits. The sequence is the layer input x_1..x_n (each of length
+// Input()); every layer consumes the previous layer's hidden outputs.
+func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
+	if len(xs) == 0 {
+		panic("lstm: empty input sequence")
+	}
+	if opt.Inter {
+		if opt.MTS < 1 {
+			panic("lstm: Inter mode requires MTS >= 1")
+		}
+		if len(opt.Predictors) != len(n.Layers) {
+			panic(fmt.Sprintf("lstm: %d predictors for %d layers", len(opt.Predictors), len(n.Layers)))
+		}
+	}
+	seq := xs
+	for li, l := range n.Layers {
+		var lt *LayerTrace
+		if opt.Trace != nil {
+			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
+			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
+		}
+		seq = n.runLayer(li, l, seq, opt, lt)
+	}
+	last := seq[len(seq)-1]
+	logits := tensor.NewVector(n.Head.Rows)
+	tensor.Gemv(logits, n.Head, last)
+	tensor.Add(logits, logits, n.HeadBias)
+	return logits
+}
+
+// Classify runs the network and returns the argmax class.
+func (n *Network) Classify(xs []tensor.Vector, opt RunOptions) int {
+	return tensor.ArgMax(n.Run(xs, opt))
+}
+
+// layerScratch holds the per-cell working vectors reused across steps.
+type layerScratch struct {
+	uo, uf, ui, uc tensor.Vector
+	pre            tensor.Vector
+	gf, gi, gc     tensor.Vector
+}
+
+func newLayerScratch(h int) *layerScratch {
+	return &layerScratch{
+		uo: tensor.NewVector(h), uf: tensor.NewVector(h),
+		ui: tensor.NewVector(h), uc: tensor.NewVector(h),
+		pre: tensor.NewVector(h),
+		gf:  tensor.NewVector(h), gi: tensor.NewVector(h), gc: tensor.NewVector(h),
+	}
+}
+
+// cellState is the (h, c) pair carried along one sub-layer.
+type cellState struct {
+	h, c tensor.Vector
+}
+
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace) []tensor.Vector {
+	nCells := len(xs)
+	h := l.Hidden
+
+	// Step 2 of Algorithm 1: the per-layer Sgemm(W_{f,i,c,o}, x). All
+	// layer inputs are ready up-front on mobile GPUs (§II-C).
+	xf := make([]tensor.Vector, nCells)
+	xi := make([]tensor.Vector, nCells)
+	xc := make([]tensor.Vector, nCells)
+	xo := make([]tensor.Vector, nCells)
+	for t, x := range xs {
+		xf[t] = tensor.NewVector(h)
+		xi[t] = tensor.NewVector(h)
+		xc[t] = tensor.NewVector(h)
+		xo[t] = tensor.NewVector(h)
+		tensor.Gemv(xf[t], l.Wf, x)
+		tensor.Gemv(xi[t], l.Wi, x)
+		tensor.Gemv(xc[t], l.Wc, x)
+		tensor.Gemv(xo[t], l.Wo, x)
+	}
+
+	// Layer division (Fig. 10 step 5): relevance per link, breakpoints,
+	// sub-layers.
+	var subs [][]int
+	if opt.Inter && nCells > 1 {
+		an := l.Analyzer()
+		rel := make([]float64, nCells-1)
+		for t := 1; t < nCells; t++ {
+			rel[t-1] = an.Relevance(xf[t], xi[t], xc[t], xo[t])
+		}
+		breaks := intercell.Breakpoints(rel, opt.AlphaInter)
+		subs = intercell.Sublayers(nCells, breaks)
+		if lt != nil {
+			lt.Relevance = rel
+			lt.Breakpoints = breaks
+		}
+	} else {
+		subs = intercell.Sublayers(nCells, nil)
+	}
+
+	// Tissue re-organization (Fig. 10 steps 7-8). Without the inter-cell
+	// optimization every cell is its own tissue (strictly sequential).
+	var tissues [][]int
+	if opt.Inter {
+		tissues = intercell.AlignTissues(subs, opt.MTS)
+	} else {
+		tissues = intercell.AlignTissues(subs, 1)
+	}
+	if lt != nil {
+		lt.SublayerSizes = intercell.TissueSizes(subs)
+		lt.TissueSizes = intercell.TissueSizes(tissues)
+	}
+
+	// Sub-layer lookup and initial states: sub-layer 0 starts from the
+	// layer's zero initial state; every later sub-layer starts from the
+	// predicted context link (Fig. 10 step 6).
+	subOf := make([]int, nCells)
+	for si, s := range subs {
+		for _, c := range s {
+			subOf[c] = si
+		}
+	}
+	states := make([]cellState, len(subs))
+	for si := range states {
+		if si == 0 || !opt.Inter {
+			states[si] = cellState{h: tensor.NewVector(h), c: tensor.NewVector(h)}
+			continue
+		}
+		p := opt.Predictors[li]
+		states[si] = cellState{h: p.H.Clone(), c: p.C.Clone()}
+	}
+
+	hs := make([]tensor.Vector, nCells)
+	scratch := newLayerScratch(h)
+	os := make([]tensor.Vector, 0, opt.MTS+1)
+
+	for _, tissue := range tissues {
+		// First the output gates of every cell in the tissue — in the
+		// DRS flow o_t must exist before U_{f,i,c} is touched
+		// (Algorithm 3 lines 4-6); in the combined flow the tissue's
+		// shared skip set is the intersection across its cells.
+		os = os[:0]
+		for _, cell := range tissue {
+			st := &states[subOf[cell]]
+			tensor.Gemv(scratch.uo, l.Uo, st.h)
+			o := tensor.NewVector(h)
+			for j := 0; j < h; j++ {
+				o[j] = n.Gate.Apply(xo[cell][j] + scratch.uo[j] + l.Bo[j])
+			}
+			os = append(os, o)
+		}
+		var skip []bool
+		var skipCount int
+		if opt.Intra {
+			skip, skipCount = intracell.TissueTrivialRows(os, opt.AlphaIntra)
+		}
+		if lt != nil && (opt.Intra || opt.Inter) {
+			lt.SkipCounts = append(lt.SkipCounts, skipCount)
+		}
+		// Then the f, i, c gates (with trivial rows disabled) and the
+		// element-wise state update per cell.
+		for ci, cell := range tissue {
+			st := &states[subOf[cell]]
+			n.stepFIC(l, st, xf[cell], xi[cell], xc[cell], os[ci], skip, scratch)
+			hs[cell] = st.h.Clone()
+		}
+	}
+	return hs
+}
+
+// stepFIC completes one cell given its output gate: computes f_t, i_t,
+// the candidate, and updates (c, h) in place. Rows marked in skip are not
+// computed; their c and h elements are approximated to zero (§V-A).
+func (n *Network) stepFIC(l *Layer, st *cellState, xf, xi, xc, o tensor.Vector, skip []bool, s *layerScratch) {
+	h := l.Hidden
+	tensor.GemvRows(s.uf, l.Uf, st.h, skip, 0)
+	tensor.GemvRows(s.ui, l.Ui, st.h, skip, 0)
+	tensor.GemvRows(s.uc, l.Uc, st.h, skip, 0)
+	for j := 0; j < h; j++ {
+		if skip != nil && skip[j] {
+			st.c[j] = 0
+			st.h[j] = 0
+			continue
+		}
+		f := n.Gate.Apply(xf[j] + s.uf[j] + l.Bf[j])
+		i := n.Gate.Apply(xi[j] + s.ui[j] + l.Bi[j])
+		g := tensor.Tanh(xc[j] + s.uc[j] + l.Bc[j])
+		c := f*st.c[j] + i*g
+		st.c[j] = c
+		st.h[j] = o[j] * tensor.Tanh(c)
+	}
+}
+
+// CollectPredictors executes the unmodified network over a set of
+// sequences and returns the Eq. 6 predicted context link per layer — the
+// offline step 4 of Fig. 10. Every observed (h_t, c_t) pair contributes;
+// the paper collects the full link distribution, not only weak links.
+func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predictor {
+	stats := make([]*intercell.LinkStats, len(n.Layers))
+	for i, l := range n.Layers {
+		stats[i] = intercell.NewLinkStats(l.Hidden)
+	}
+	for _, xs := range samples {
+		seq := xs
+		for li, l := range n.Layers {
+			seq = observeLayer(n, l, seq, stats[li])
+		}
+	}
+	out := make([]intercell.Predictor, len(n.Layers))
+	for i, s := range stats {
+		out[i] = s.Predictor()
+	}
+	return out
+}
+
+// observeLayer runs one layer exactly and feeds every context link to the
+// accumulator, returning the hidden sequence for the next layer.
+func observeLayer(n *Network, l *Layer, xs []tensor.Vector, ls *intercell.LinkStats) []tensor.Vector {
+	h := l.Hidden
+	st := cellState{h: tensor.NewVector(h), c: tensor.NewVector(h)}
+	scratch := newLayerScratch(h)
+	hs := make([]tensor.Vector, len(xs))
+	xg := tensor.NewVector(h)
+	for t, x := range xs {
+		// o_t first (same math as Run, no skipping).
+		tensor.Gemv(scratch.uo, l.Uo, st.h)
+		tensor.Gemv(xg, l.Wo, x)
+		o := tensor.NewVector(h)
+		for j := 0; j < h; j++ {
+			o[j] = n.Gate.Apply(xg[j] + scratch.uo[j] + l.Bo[j])
+		}
+		xfv, xiv, xcv := tensor.NewVector(h), tensor.NewVector(h), tensor.NewVector(h)
+		tensor.Gemv(xfv, l.Wf, x)
+		tensor.Gemv(xiv, l.Wi, x)
+		tensor.Gemv(xcv, l.Wc, x)
+		n.stepFIC(l, &st, xfv, xiv, xcv, o, nil, scratch)
+		hs[t] = st.h.Clone()
+		ls.Observe(st.h, st.c)
+	}
+	return hs
+}

@@ -1,0 +1,171 @@
+// Package report renders the reproduction's tables and figure series as
+// aligned text, so every benchmark target prints the same rows the paper
+// reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of pre-formatted cells.
+func (t *Table) AddRowf(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// X formats a ratio as a speedup factor.
+func X(f float64) string { return fmt.Sprintf("%.2fx", f) }
+
+// Series is a named sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends one series.
+func (f *Figure) Add(name string, xs, ys []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: xs, Y: ys})
+}
+
+// String renders each series as "name: (x, y) (x, y) ..." rows plus a
+// compact sparkline for shape inspection.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [x: %s, y: %s]\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "  %-22s", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&sb, " (%g, %.3f)", s.X[i], s.Y[i])
+		}
+		fmt.Fprintf(&sb, "   %s\n", spark(s.Y))
+	}
+	return sb.String()
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a unicode sparkline (min-max normalized).
+func spark(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var sb strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}

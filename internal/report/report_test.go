@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "BB")
+	tab.AddRow("x", 1)
+	tab.AddRow(2.5, "long cell")
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "long cell") {
+		t.Fatal("missing cell")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Columns aligned: header and rows start their second column at the
+	// same offset.
+	hdr := lines[1]
+	if !strings.HasPrefix(hdr, "A") {
+		t.Fatalf("header %q", hdr)
+	}
+}
+
+func TestTableAddRowFormats(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(float64(1.23456))
+	tab.AddRow(float32(2.5))
+	tab.AddRow(42)
+	out := tab.String()
+	if !strings.Contains(out, "1.235") || !strings.Contains(out, "2.500") || !strings.Contains(out, "42") {
+		t.Fatalf("formatting: %q", out)
+	}
+}
+
+func TestPctAndX(t *testing.T) {
+	if Pct(0.4723) != "47.23%" {
+		t.Fatalf("Pct: %q", Pct(0.4723))
+	}
+	if X(2.54) != "2.54x" {
+		t.Fatalf("X: %q", X(2.54))
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("F", "x", "y")
+	f.Add("s1", []float64{1, 2, 3}, []float64{1, 4, 9})
+	out := f.String()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "(2, 4.000)") {
+		t.Fatalf("figure: %q", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	s := spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("spark length: %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("spark extremes: %q", s)
+	}
+	if spark(nil) != "" {
+		t.Fatal("empty spark")
+	}
+	flat := []rune(spark([]float64{2, 2}))
+	if flat[0] != flat[1] {
+		t.Fatal("flat series should render uniformly")
+	}
+}

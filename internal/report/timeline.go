@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one segment of a serial execution timeline.
+type Span struct {
+	Name   string
+	Cycles float64
+}
+
+// Timeline renders a serial kernel-launch sequence as a proportional
+// single-line chart plus a legend: each column of the bar is the kernel
+// that dominates that slice of the execution window. It makes the
+// paper's "Sgemv dominates" observation visible at a glance and shows
+// how the optimized flows change the mix.
+type Timeline struct {
+	Title string
+	Width int
+	Spans []Span
+}
+
+// NewTimeline creates a timeline chart (default width 72 columns).
+func NewTimeline(title string) *Timeline {
+	return &Timeline{Title: title, Width: 72}
+}
+
+// Add appends one executed span.
+func (tl *Timeline) Add(name string, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	tl.Spans = append(tl.Spans, Span{Name: name, Cycles: cycles})
+}
+
+// letters assigns a stable glyph per kernel name, by total cycles
+// descending (the biggest consumer gets 'A').
+func (tl *Timeline) letters() (map[string]byte, []string) {
+	totals := map[string]float64{}
+	for _, s := range tl.Spans {
+		totals[s.Name] += s.Cycles
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	glyphs := map[string]byte{}
+	for i, n := range names {
+		if i < 26 {
+			glyphs[n] = byte('A' + i)
+		} else {
+			glyphs[n] = '+'
+		}
+	}
+	return glyphs, names
+}
+
+// String renders the chart.
+func (tl *Timeline) String() string {
+	if len(tl.Spans) == 0 {
+		return tl.Title + "\n(empty timeline)\n"
+	}
+	width := tl.Width
+	if width < 8 {
+		width = 8
+	}
+	var total float64
+	for _, s := range tl.Spans {
+		total += s.Cycles
+	}
+	glyphs, names := tl.letters()
+
+	// For each output column, the dominant span inside its time window.
+	bar := make([]byte, width)
+	perCol := total / float64(width)
+	spanIdx := 0
+	consumed := 0.0 // cycles consumed from Spans[spanIdx]
+	for col := 0; col < width; col++ {
+		need := perCol
+		weights := map[string]float64{}
+		for need > 0 && spanIdx < len(tl.Spans) {
+			s := tl.Spans[spanIdx]
+			avail := s.Cycles - consumed
+			take := avail
+			if take > need {
+				take = need
+			}
+			weights[s.Name] += take
+			need -= take
+			consumed += take
+			if consumed >= s.Cycles {
+				spanIdx++
+				consumed = 0
+			}
+		}
+		bestName, bestW := "", -1.0
+		for n, w := range weights {
+			if w > bestW || (w == bestW && n < bestName) {
+				bestName, bestW = n, w
+			}
+		}
+		if bestName == "" {
+			bar[col] = '.'
+			continue
+		}
+		bar[col] = glyphs[bestName]
+	}
+
+	var sb strings.Builder
+	if tl.Title != "" {
+		sb.WriteString(tl.Title)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("|")
+	sb.Write(bar)
+	sb.WriteString("|\n")
+	totals := map[string]float64{}
+	for _, s := range tl.Spans {
+		totals[s.Name] += s.Cycles
+	}
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %c = %-16s %6.2f%%\n", glyphs[n], n, totals[n]/total*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineDominantKernel(t *testing.T) {
+	tl := NewTimeline("layer")
+	tl.Width = 10
+	// One giant kernel and one tiny one: the bar should be mostly 'A'.
+	for i := 0; i < 5; i++ {
+		tl.Add("sgemv", 100)
+		tl.Add("ew", 1)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "A = sgemv") {
+		t.Fatalf("legend missing dominant kernel:\n%s", out)
+	}
+	bar := strings.Split(out, "\n")[1]
+	if strings.Count(bar, "A") < 9 {
+		t.Fatalf("dominant kernel underrepresented: %q", bar)
+	}
+}
+
+func TestTimelineProportions(t *testing.T) {
+	tl := NewTimeline("")
+	tl.Width = 20
+	tl.Add("a", 50)
+	tl.Add("b", 50)
+	out := tl.String()
+	bar := strings.Split(out, "\n")[0]
+	if strings.Count(bar, "A") != 10 || strings.Count(bar, "B") != 10 {
+		t.Fatalf("50/50 split misrendered: %q", bar)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline("x")
+	if !strings.Contains(tl.String(), "empty") {
+		t.Fatal("empty timeline not flagged")
+	}
+	tl.Add("a", 0) // non-positive spans ignored
+	if !strings.Contains(tl.String(), "empty") {
+		t.Fatal("zero-cycle span accepted")
+	}
+}
+
+func TestTimelineLegendShares(t *testing.T) {
+	tl := NewTimeline("")
+	tl.Add("x", 75)
+	tl.Add("y", 25)
+	out := tl.String()
+	if !strings.Contains(out, "75.00%") || !strings.Contains(out, "25.00%") {
+		t.Fatalf("legend percentages wrong:\n%s", out)
+	}
+}
+
+func TestTimelineManyKernels(t *testing.T) {
+	tl := NewTimeline("")
+	for i := 0; i < 30; i++ {
+		tl.Add(strings.Repeat("k", i+1), float64(i+1))
+	}
+	out := tl.String()
+	if !strings.Contains(out, "+") {
+		t.Fatal("overflow glyph missing for >26 kernels")
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	mk := func() string {
+		tl := NewTimeline("t")
+		tl.Add("a", 10)
+		tl.Add("b", 10) // tie in totals: glyphs must assign stably
+		return tl.String()
+	}
+	if mk() != mk() {
+		t.Fatal("timeline not deterministic")
+	}
+}

@@ -1,0 +1,130 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used by every stochastic component in mobilstm (weight
+// synthesis, dataset generation, the simulated user panel).
+//
+// All experiments in the repository are seeded so that figures and tables
+// regenerate bit-identically across runs. The generator is xoshiro256**,
+// which has a 256-bit state, passes BigCrush, and is trivially splittable
+// via Jump-free reseeding with splitmix64.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	s [4]uint64
+	// spare holds a cached second normal deviate from the Box-Muller
+	// transform; spareOK reports whether it is valid.
+	spare   float64
+	spareOK bool
+}
+
+// New returns a generator seeded from the given seed via splitmix64, so
+// that nearby seeds produce uncorrelated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the (astronomically unlikely) all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of the receiver's. It consumes one value from the receiver.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal deviate using the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.spareOK {
+		r.spareOK = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.spareOK = true
+	return u * m
+}
+
+// NormF32 returns a normal deviate with the given mean and standard
+// deviation as a float32.
+func (r *RNG) NormF32(mean, std float64) float32 {
+	return float32(mean + std*r.Norm())
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}

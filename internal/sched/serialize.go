@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobilstm/internal/gpu"
+)
+
+// Plan serialization: the file interface between the numeric profiling
+// stage and the platform replay stage — the role the paper's exported
+// breakpoint/trivial-row information plays between PyTorch and DeepBench
+// (Fig. 13). A saved plan replays bit-identically.
+
+// planFile is the JSON schema; Mode is stored by name for stability.
+type planFile struct {
+	Version      int          `json:"version"`
+	Mode         string       `json:"mode"`
+	Hidden       int          `json:"hidden"`
+	Input        int          `json:"input"`
+	Length       int          `json:"length"`
+	Layers       int          `json:"layers"`
+	MTS          int          `json:"mts,omitempty"`
+	Stats        []LayerStats `json:"stats,omitempty"`
+	PruneDensity float64      `json:"prune_density,omitempty"`
+	Seed         uint64       `json:"seed"`
+	Platform     string       `json:"platform"`
+}
+
+// SavePlan writes the plan as JSON (excluding the platform config, which
+// is recorded by name only — plans are replayed against a Config the
+// loader supplies).
+func SavePlan(w io.Writer, p Plan) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	f := planFile{
+		Version: 1,
+		Mode:    p.Mode.String(),
+		Hidden:  p.Hidden, Input: p.Input, Length: p.Length, Layers: p.Layers,
+		MTS: p.MTS, Stats: p.Stats, PruneDensity: p.PruneDensity,
+		Seed: p.Seed, Platform: p.Cfg.Name,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadPlan reads a plan saved by SavePlan; cfg supplies the platform to
+// replay against (the stored platform name is advisory).
+func LoadPlan(r io.Reader, cfg gpu.Config) (Plan, error) {
+	var f planFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return Plan{}, fmt.Errorf("sched: decoding plan: %w", err)
+	}
+	if f.Version != 1 {
+		return Plan{}, fmt.Errorf("sched: unsupported plan version %d", f.Version)
+	}
+	mode, err := modeByName(f.Mode)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := Plan{
+		Cfg:    cfg,
+		Mode:   mode,
+		Hidden: f.Hidden, Input: f.Input, Length: f.Length, Layers: f.Layers,
+		MTS: f.MTS, Stats: f.Stats, PruneDensity: f.PruneDensity, Seed: f.Seed,
+	}
+	if err := p.validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func modeByName(name string) (Mode, error) {
+	for _, m := range []Mode{Baseline, Inter, Intra, Combined, IntraSW, ZeroPrune} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown mode %q", name)
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobilstm/internal/gpu"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := plan(Combined)
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(&buf, gpu.TegraX1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loaded plan must lower to the identical kernel sequence — the
+	// bit-identical replay guarantee of the profiling/replay interface.
+	a := Kernels(p)
+	b := Kernels(got)
+	if len(a) != len(b) {
+		t.Fatalf("kernel counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kernel %d differs after round trip", i)
+		}
+	}
+}
+
+func TestPlanJSONReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan(ZeroPrune)); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"mode": "zero-pruning"`, `"hidden": 512`, `"prune_density": 0.315`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("serialized plan missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadPlanRejectsGarbage(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader("{"), gpu.TegraX1()); err == nil {
+		t.Fatal("accepted truncated JSON")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"version":9}`), gpu.TegraX1()); err == nil {
+		t.Fatal("accepted bad version")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"version":1,"mode":"nope"}`), gpu.TegraX1()); err == nil {
+		t.Fatal("accepted unknown mode")
+	}
+	if _, err := LoadPlan(strings.NewReader(
+		`{"version":1,"mode":"baseline","hidden":0,"input":1,"length":1,"layers":1}`),
+		gpu.TegraX1()); err == nil {
+		t.Fatal("accepted invalid shape")
+	}
+}
+
+func TestSavePlanRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, Plan{Cfg: gpu.TegraX1(), Mode: Baseline}); err == nil {
+		t.Fatal("saved invalid plan")
+	}
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"testing"
+
+	"mobilstm/internal/gpu"
+)
+
+func wfPlan(cfg gpu.Config, budget int64) WavefrontPlan {
+	return WavefrontPlan{
+		Cfg: cfg, Hidden: 650, Input: 650, Length: 200, Layers: 3,
+		ResidentBudgetBytes: budget,
+	}
+}
+
+func TestWavefrontStepCount(t *testing.T) {
+	r := Wavefront(wfPlan(TeslaM40(), 0))
+	if r.Steps != 200+3-1 {
+		t.Fatalf("steps %d", r.Steps)
+	}
+}
+
+func TestActiveLayers(t *testing.T) {
+	// 3 layers, 4 cells: step 0 has 1, step 2 has 3, step 5 has 1.
+	cases := []struct{ s, want int }{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {4, 2}, {5, 1}}
+	for _, c := range cases {
+		if got := activeLayers(c.s, 4, 3); got != c.want {
+			t.Fatalf("step %d: %d active, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestResidentWeightsRemoveDRAMPressure(t *testing.T) {
+	cfg := TeslaM40()
+	none := Wavefront(wfPlan(cfg, 0))
+	all := Wavefront(wfPlan(cfg, 64<<20))
+	if all.ResidentLayers != 3 {
+		t.Fatalf("resident layers %d", all.ResidentLayers)
+	}
+	if all.Cycles >= none.Cycles {
+		t.Fatalf("resident weights did not help: %v vs %v", all.Cycles, none.Cycles)
+	}
+}
+
+func TestResidentBudgetClamps(t *testing.T) {
+	if r := Wavefront(wfPlan(TeslaM40(), -5)); r.ResidentLayers != 0 {
+		t.Fatal("negative budget not clamped")
+	}
+}
+
+// The §II-C contrast: the server GPU's layer pipelining plus resident
+// weights beats the mobile layer-sequential baseline by a wide margin —
+// which is exactly why the paper's mobile-side optimizations are needed.
+func TestServerVsMobileContrast(t *testing.T) {
+	mobile := gpu.NewSimulator(gpu.TegraX1()).Run(Kernels(Plan{
+		Cfg: gpu.TegraX1(), Mode: Baseline,
+		Hidden: 650, Input: 650, Length: 200, Layers: 3,
+	}))
+	server := Wavefront(wfPlan(TeslaM40(), 16<<20))
+	if server.Seconds >= mobile.Seconds/3 {
+		t.Fatalf("server not clearly faster: %v vs %v", server.Seconds, mobile.Seconds)
+	}
+	// And the mobile GPU could not have gone resident: 3 layers of PTB
+	// weights are ~19 MB against 256 KB of L2.
+	if u := int64(16 * 650 * 650 * 3); u < gpu.TegraX1().L2Bytes {
+		t.Fatal("test premise broken")
+	}
+}
+
+func TestWavefrontPanicsOnBadPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Wavefront(WavefrontPlan{Cfg: TeslaM40()})
+}

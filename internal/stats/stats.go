@@ -1,0 +1,110 @@
+// Package stats provides the small statistics toolkit the calibration
+// and reporting layers share: quantiles with a fixed index convention,
+// moments, and a streaming accumulator.
+//
+// The quantile convention is sorted[int(q*(n-1))] — the lower empirical
+// quantile. Every calibration site uses this same convention so that
+// threshold sets stay bit-reproducible.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile of sorted data (q clamped to [0, 1]).
+// It panics on empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// QuantileOf copies, sorts and returns the q-quantile of xs.
+func QuantileOf(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, q)
+}
+
+// Median returns the 0.5-quantile of xs (copy + sort).
+func Median(xs []float64) float64 { return QuantileOf(xs, 0.5) }
+
+// Mean returns the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation; 0 for n < 2.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the extrema; (0, 0) for empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Accumulator computes streaming mean and variance (Welford).
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add feeds one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the observation count.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the running mean; 0 before any observation.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Std returns the running population standard deviation.
+func (a *Accumulator) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileConvention(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{-1, 1}, {2, 5}, // clamped
+		{0.49, 2}, // lower empirical quantile (floor index)
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileOfDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if m := QuantileOf(xs, 0.5); m != 2 {
+		t.Fatalf("median %v", m)
+	}
+	if xs[0] != 3 {
+		t.Fatal("input mutated")
+	}
+	if Median(xs) != 2 {
+		t.Fatal("Median")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("std %v", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("empty/short cases")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax %v %v", lo, hi)
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+// Property: the Welford accumulator matches the batch formulas.
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		if a.N() != int64(len(xs)) {
+			return false
+		}
+		if len(xs) == 0 {
+			return a.Mean() == 0 && a.Std() == 0
+		}
+		scale := 1 + math.Abs(Mean(xs))
+		if math.Abs(a.Mean()-Mean(xs))/scale > 1e-9 {
+			return false
+		}
+		return math.Abs(a.Std()-Std(xs))/(1+Std(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package tensor implements the dense float32 linear algebra used by the
+// LSTM library: vectors, row-major matrices, blocked and parallel
+// GEMM/GEMV, and the activation functions from the paper (sigmoid, hard
+// sigmoid, tanh).
+//
+// The package is deliberately small and allocation-conscious: LSTM
+// inference is a long sequence of GEMV/GEMM calls over the same shapes, so
+// every operation writes into a caller-provided destination.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float32 vector.
+type Vector []float32
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector {
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float32) { m.Data[i*m.Cols+j] = x }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SizeBytes returns the storage footprint of the matrix in bytes
+// (4 bytes per float32), as loaded by a GPU kernel.
+func (m *Matrix) SizeBytes() int64 { return int64(m.Rows) * int64(m.Cols) * 4 }
+
+// Gemv computes dst = m · x. dst must have length m.Rows and x length
+// m.Cols. The inner loop is unrolled by four to keep the pure-Go
+// implementation within a small factor of what the memory system allows.
+func Gemv(dst Vector, m *Matrix, x Vector) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: Gemv shape mismatch: dst %d, m %dx%d, x %d",
+			len(dst), m.Rows, m.Cols, len(x)))
+	}
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*n : i*n+n]
+		var s0, s1, s2, s3 float32
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0 += row[j] * x[j]
+			s1 += row[j+1] * x[j+1]
+			s2 += row[j+2] * x[j+2]
+			s3 += row[j+3] * x[j+3]
+		}
+		s := s0 + s1 + s2 + s3
+		for ; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// GemvRows computes dst[i] = m.Row(i) · x only for rows i where
+// skip[i] == false; skipped rows of dst are set to fill. skip may be nil,
+// in which case all rows are computed. This is the numeric counterpart of
+// the paper's Sgemv(U_{f,i,c}, h, R) kernel with trivial rows disabled.
+func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, fill float32) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: GemvRows shape mismatch: dst %d, m %dx%d, x %d",
+			len(dst), m.Rows, m.Cols, len(x)))
+	}
+	if skip != nil && len(skip) != m.Rows {
+		panic("tensor: GemvRows skip length mismatch")
+	}
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		if skip != nil && skip[i] {
+			dst[i] = fill
+			continue
+		}
+		row := m.Data[i*n : i*n+n]
+		var s float32
+		for j, r := range row {
+			s += r * x[j]
+		}
+		_ = n
+		dst[i] = s
+	}
+}
+
+// Gemm computes dst = a · b, where dst is (a.Rows × b.Cols). It uses a
+// simple ikj loop order which is cache-friendly for row-major storage.
+func Gemm(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Gemm shape mismatch: dst %dx%d, a %dx%d, b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*n : i*n+n]
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// Axpy computes dst[i] += alpha * x[i].
+func Axpy(dst Vector, alpha float32, x Vector) {
+	if len(dst) != len(x) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Add computes dst[i] = a[i] + b[i].
+func Add(dst, a, b Vector) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Mul computes dst[i] = a[i] * b[i] (the Hadamard product used by the
+// LSTM gate equations).
+func Mul(dst, a, b Vector) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Mul length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AbsRowSums returns d[i] = Σ_j |m[i][j]|, the per-row L1 norms used by
+// Algorithm 2 of the paper to bound U·h for h ∈ [-1, 1]^n.
+func AbsRowSums(m *Matrix) Vector {
+	d := NewVector(m.Rows)
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*n : i*n+n]
+		var s float32
+		for _, v := range row {
+			s += float32(math.Abs(float64(v)))
+		}
+		d[i] = s
+	}
+	return d
+}
+
+// ArgMax returns the index of the largest element of v, breaking ties in
+// favour of the lower index. It panics on an empty vector.
+func ArgMax(v Vector) int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MaxAbs returns max_i |v[i]|, or 0 for an empty vector.
+func MaxAbs(v Vector) float32 {
+	var m float32
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilstm/internal/rng"
+)
+
+func randMatrix(r *rng.RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormF32(0, 1)
+	}
+	return m
+}
+
+func randVector(r *rng.RNG, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = r.NormF32(0, 1)
+	}
+	return v
+}
+
+// gemvNaive is the obviously-correct reference implementation.
+func gemvNaive(m *Matrix, x Vector) Vector {
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for j := 0; j < m.Cols; j++ {
+			s += float64(m.At(i, j)) * float64(x[j])
+		}
+		out[i] = float32(s)
+	}
+	return out
+}
+
+func maxAbsDiff(a, b Vector) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(float64(a[i] - b[i])); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestGemvMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {7, 4}, {16, 16}, {33, 129}, {100, 257}} {
+		m := randMatrix(r, shape[0], shape[1])
+		x := randVector(r, shape[1])
+		got := NewVector(shape[0])
+		Gemv(got, m, x)
+		want := gemvNaive(m, x)
+		if d := maxAbsDiff(got, want); d > 1e-3 {
+			t.Errorf("shape %v: max diff %v", shape, d)
+		}
+	}
+}
+
+func TestGemvShapePanics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	Gemv(NewVector(3), m, NewVector(5))
+}
+
+func TestGemvRowsNilSkipEqualsGemv(t *testing.T) {
+	r := rng.New(2)
+	m := randMatrix(r, 20, 30)
+	x := randVector(r, 30)
+	a, b := NewVector(20), NewVector(20)
+	Gemv(a, m, x)
+	GemvRows(b, m, x, nil, -1)
+	if d := maxAbsDiff(a, b); d > 1e-4 {
+		t.Fatalf("GemvRows(nil) differs from Gemv by %v", d)
+	}
+}
+
+func TestGemvRowsSkips(t *testing.T) {
+	r := rng.New(3)
+	m := randMatrix(r, 10, 8)
+	x := randVector(r, 8)
+	skip := make([]bool, 10)
+	skip[0], skip[4], skip[9] = true, true, true
+	out := NewVector(10)
+	GemvRows(out, m, x, skip, 42)
+	ref := gemvNaive(m, x)
+	for i := range out {
+		if skip[i] {
+			if out[i] != 42 {
+				t.Errorf("row %d: got %v, want fill 42", i, out[i])
+			}
+		} else if math.Abs(float64(out[i]-ref[i])) > 1e-4 {
+			t.Errorf("row %d: got %v, want %v", i, out[i], ref[i])
+		}
+	}
+}
+
+func TestGemmMatchesGemvColumns(t *testing.T) {
+	r := rng.New(4)
+	a := randMatrix(r, 9, 7)
+	b := randMatrix(r, 7, 5)
+	dst := NewMatrix(9, 5)
+	Gemm(dst, a, b)
+	// Column j of dst must equal a * (column j of b).
+	for j := 0; j < 5; j++ {
+		col := NewVector(7)
+		for k := 0; k < 7; k++ {
+			col[k] = b.At(k, j)
+		}
+		want := gemvNaive(a, col)
+		for i := 0; i < 9; i++ {
+			if math.Abs(float64(dst.At(i, j)-want[i])) > 1e-3 {
+				t.Fatalf("dst[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[i])
+			}
+		}
+	}
+}
+
+func TestGemmIdentity(t *testing.T) {
+	r := rng.New(5)
+	a := randMatrix(r, 6, 6)
+	id := NewMatrix(6, 6)
+	for i := 0; i < 6; i++ {
+		id.Set(i, i, 1)
+	}
+	dst := NewMatrix(6, 6)
+	Gemm(dst, a, id)
+	for i := range dst.Data {
+		if math.Abs(float64(dst.Data[i]-a.Data[i])) > 1e-5 {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	dst := NewVector(3)
+	Add(dst, a, b)
+	if dst[0] != 5 || dst[1] != 7 || dst[2] != 9 {
+		t.Fatalf("Add: %v", dst)
+	}
+	Mul(dst, a, b)
+	if dst[0] != 4 || dst[1] != 10 || dst[2] != 18 {
+		t.Fatalf("Mul: %v", dst)
+	}
+	Axpy(dst, 2, a)
+	if dst[0] != 6 || dst[1] != 14 || dst[2] != 24 {
+		t.Fatalf("Axpy: %v", dst)
+	}
+	if d := Dot(a, b); d != 32 {
+		t.Fatalf("Dot: %v", d)
+	}
+}
+
+func TestAbsRowSums(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float32{1, -2, 3, -4, 0, 5})
+	d := AbsRowSums(m)
+	if d[0] != 6 || d[1] != 9 {
+		t.Fatalf("AbsRowSums: %v", d)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax(Vector{0.1, 3, -1, 3}); i != 1 {
+		t.Fatalf("ArgMax tie-break: %d, want 1", i)
+	}
+	if i := ArgMax(Vector{-5}); i != 0 {
+		t.Fatalf("ArgMax single: %d", i)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if m := MaxAbs(Vector{1, -7, 3}); m != 7 {
+		t.Fatalf("MaxAbs: %v", m)
+	}
+	if m := MaxAbs(nil); m != 0 {
+		t.Fatalf("MaxAbs(nil): %v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	v := Vector{1, 2}
+	cv := v.Clone()
+	cv[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Vector Clone shares storage")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if n := NewMatrix(10, 20).SizeBytes(); n != 800 {
+		t.Fatalf("SizeBytes: %d", n)
+	}
+}
+
+// Property: Gemv is linear — M(ax + by) = a*Mx + b*My.
+func TestGemvLinearityProperty(t *testing.T) {
+	r := rng.New(6)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		rows, cols := 1+rr.Intn(30), 1+rr.Intn(30)
+		m := randMatrix(rr, rows, cols)
+		x, y := randVector(rr, cols), randVector(rr, cols)
+		a, b := rr.Float32(), rr.Float32()
+		xy := NewVector(cols)
+		for i := range xy {
+			xy[i] = a*x[i] + b*y[i]
+		}
+		lhs := NewVector(rows)
+		Gemv(lhs, m, xy)
+		mx, my := NewVector(rows), NewVector(rows)
+		Gemv(mx, m, x)
+		Gemv(my, m, y)
+		for i := range lhs {
+			want := a*mx[i] + b*my[i]
+			if math.Abs(float64(lhs[i]-want)) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: quickSeed(r)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AbsRowSums bounds |M h| elementwise for any h in [-1, 1]^n —
+// the invariant Algorithm 2 rests on.
+func TestAbsRowSumsBoundProperty(t *testing.T) {
+	r := rng.New(7)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		rows, cols := 1+rr.Intn(20), 1+rr.Intn(20)
+		m := randMatrix(rr, rows, cols)
+		h := NewVector(cols)
+		for i := range h {
+			h[i] = 2*rr.Float32() - 1 // in [-1, 1]
+		}
+		out := NewVector(rows)
+		Gemv(out, m, h)
+		d := AbsRowSums(m)
+		for i := range out {
+			if math.Abs(float64(out[i])) > float64(d[i])+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Values: quickSeed(r)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package mobilstm_test
+
+import (
+	"testing"
+
+	"mobilstm"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := mobilstm.Benchmarks()
+	if len(bs) != 6 {
+		t.Fatalf("benchmark count %d", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if b.Hidden <= 0 || b.Layers <= 0 || b.Length <= 0 || b.Classes <= 0 {
+			t.Fatalf("bad benchmark %+v", b)
+		}
+		seen[b.Name] = true
+	}
+	for _, name := range []string{"IMDB", "MR", "BABI", "SNLI", "PTB", "MT"} {
+		if !seen[name] {
+			t.Fatalf("missing %s", name)
+		}
+	}
+}
+
+func TestOpenUnknown(t *testing.T) {
+	if _, err := mobilstm.Open("bogus", mobilstm.Options{}); err == nil {
+		t.Fatal("no error for unknown benchmark")
+	}
+	if _, err := mobilstm.OpenCustom("bogus", 0, 0, 0, mobilstm.Options{}); err == nil {
+		t.Fatal("no error for unknown custom base")
+	}
+}
+
+func TestPublicAPIFlow(t *testing.T) {
+	sys, err := mobilstm.Open("MR", mobilstm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "MR" {
+		t.Fatalf("name %q", sys.Name())
+	}
+	if sys.MTS() < 2 {
+		t.Fatalf("MTS %d", sys.MTS())
+	}
+
+	base := sys.Evaluate(mobilstm.ModeBaseline, 0)
+	if base.Speedup != 1 || base.Accuracy != 1 {
+		t.Fatalf("baseline: %+v", base)
+	}
+	if base.Milliseconds <= 0 || base.DRAMBytes <= 0 {
+		t.Fatalf("baseline resources: %+v", base)
+	}
+
+	curve := sys.Curve(mobilstm.ModeCombined)
+	if len(curve) != 11 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[10].Speedup <= 1 {
+		t.Fatalf("max-threshold speedup %v", curve[10].Speedup)
+	}
+
+	ao := sys.AO(mobilstm.ModeCombined)
+	if ao.Accuracy < 0.98 && ao.Set != 0 {
+		t.Fatalf("AO accuracy %v at set %d", ao.Accuracy, ao.Set)
+	}
+	bpa := sys.BPA(mobilstm.ModeCombined)
+	if bpa.Speedup*bpa.Accuracy+1e-9 < ao.Speedup*ao.Accuracy {
+		t.Fatalf("BPA (%v) worse than AO (%v) on its own objective",
+			bpa.Speedup*bpa.Accuracy, ao.Speedup*ao.Accuracy)
+	}
+
+	strict := sys.UO(mobilstm.ModeCombined, 0.9999)
+	loose := sys.UO(mobilstm.ModeCombined, 0.5)
+	if strict.Set > loose.Set {
+		t.Fatalf("UO not monotone in demanded accuracy: %d vs %d", strict.Set, loose.Set)
+	}
+}
+
+func TestOpenCustomShapes(t *testing.T) {
+	sys, err := mobilstm.OpenCustom("MR", 0, 0, 44, mobilstm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.Evaluate(mobilstm.ModeBaseline, 0)
+	orig, _ := mobilstm.Open("MR", mobilstm.Options{})
+	origBase := orig.Evaluate(mobilstm.ModeBaseline, 0)
+	// Doubling the length must ~double the baseline latency (it is
+	// dominated by per-cell weight re-loads).
+	ratio := base.Milliseconds / origBase.Milliseconds
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("2x length latency ratio %v, want ~2", ratio)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []mobilstm.Mode{
+		mobilstm.ModeBaseline, mobilstm.ModeInter, mobilstm.ModeIntra, mobilstm.ModeCombined,
+	} {
+		if m.String() == "" {
+			t.Fatalf("mode %d has no name", m)
+		}
+	}
+}
