@@ -1,0 +1,31 @@
+# Development targets for the mobilstm simulator.
+#
+# `make check` is the CI gate: build, vet, race-enabled tests, then the
+# project's own static-analysis suite (see docs/STATIC_ANALYSIS.md).
+
+GO ?= go
+
+.PHONY: build test race vet lint fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/mobilstm-lint ./...
+
+# Short deterministic shake of the gpu fuzz targets; CI runs this in
+# addition to `check`.
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzCacheAccess -fuzztime=10s ./internal/gpu/
+
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(GO) run ./cmd/mobilstm-lint ./...

@@ -21,7 +21,7 @@ func Score(net *lstm.Network, seqs [][]tensor.Vector, refs []int, opt lstm.RunOp
 		return 1
 	}
 	if len(seqs) != len(refs) {
-		panic("accuracy: sequence/reference length mismatch")
+		tensor.Panicf("accuracy: sequence/reference length mismatch")
 	}
 	match := make([]bool, len(seqs))
 	parallelFor(len(seqs), func(i int) {

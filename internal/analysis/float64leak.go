@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// float64leak flags float64 arithmetic performed on values that were
+// just converted from float32 — the precision-drift hazard for the DRS
+// near-zero comparisons and the relevance thresholds.
+//
+// The simulator's tensor data is float32 end to end (matching the
+// mobile GPU's FP32 ALUs). A comparison like float64(o[j]) < alpha
+// evaluates the threshold against a value carrying ~29 extra mantissa
+// bits of round-off pattern; whether an element counts as "trivial"
+// can then differ from the float32 pipeline that produced it, shifting
+// skip fractions and therefore Table I. The designated home for
+// intentional float64 excursions is internal/tensor/activation.go
+// (transcendental wrappers, where math.Exp/math.Tanh require float64);
+// anything else needs a lint:ignore with a reason.
+//
+// The analysis is local to the conversion site: it flags a
+// float64(float32-expr) conversion used as an operand of arithmetic or
+// comparison, as a += style right-hand side, under unary minus, or as
+// an argument to a math.* call. Conversions that merely cross an API
+// boundary (plain assignment, return, non-math call argument) pass.
+func init() {
+	Register(&Analyzer{
+		Name: "float64leak",
+		Doc:  "flag float64 arithmetic on float32-origin values outside internal/tensor/activation.go",
+		Run:  runFloat64Leak,
+	})
+}
+
+// float64leakAllow are file suffixes where float32→float64 excursions
+// are the point (transcendental activation wrappers).
+var float64leakAllow = []string{"internal/tensor/activation.go"}
+
+func runFloat64Leak(pass *Pass) []Finding {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	report := func(conv *ast.CallExpr, context string) {
+		out = append(out, Finding{
+			Analyzer: "float64leak",
+			Pos:      pass.Position(conv.Pos()),
+			Message:  fmt.Sprintf("float64 %s on a float32-origin value risks threshold drift; keep the computation in float32 or route it through internal/tensor/activation.go", context),
+		})
+	}
+	for _, file := range pass.Pkg.Files {
+		name := pass.Position(file.Pos()).Filename
+		if allowedFile(name, float64leakAllow) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !arithOrCompare(n.Op) {
+					return true
+				}
+				for _, e := range []ast.Expr{n.X, n.Y} {
+					if conv := pass.f32to64(e); conv != nil {
+						report(conv, opContext(n.Op))
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.SUB {
+					if conv := pass.f32to64(n.X); conv != nil {
+						report(conv, "negation")
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+					return true
+				}
+				for _, e := range n.Rhs {
+					if conv := pass.f32to64(e); conv != nil {
+						report(conv, "compound assignment")
+					}
+				}
+			case *ast.CallExpr:
+				if !pass.isMathCall(n) {
+					return true
+				}
+				for _, e := range n.Args {
+					if conv := pass.f32to64(e); conv != nil {
+						report(conv, "math.* call")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func allowedFile(name string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// f32to64 reports whether e (modulo parens) is a float64(x) conversion
+// of a float32-typed x, returning the conversion call.
+func (p *Pass) f32to64(e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isBasicKind(tv.Type, types.Float64) {
+		return nil
+	}
+	if !isBasicKind(p.TypeOf(call.Args[0]), types.Float32) {
+		return nil
+	}
+	return call
+}
+
+// isMathCall reports whether the call's callee is a function from the
+// standard math package.
+func (p *Pass) isMathCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math"
+}
+
+func isBasicKind(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+func arithOrCompare(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func opContext(op token.Token) string {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return "comparison"
+	}
+	return "arithmetic"
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// globalrand forbids math/rand (and math/rand/v2) outside internal/rng.
+//
+// Every stochastic component of the simulator — weight synthesis,
+// dataset generation, tissue-layout draws, the simulated user panel —
+// must flow through the seeded xoshiro256** streams of internal/rng so
+// that tables and figures regenerate bit-identically. A single call to
+// a math/rand top-level function (process-global, differently seeded
+// per run since Go 1.20) or a stray rand.New silently changes every
+// downstream number.
+func init() {
+	Register(&Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid math/rand use outside internal/rng (simulator determinism)",
+		Run:  runGlobalRand,
+	})
+}
+
+// randExemptSuffix is the one package allowed to touch math/rand: the
+// deterministic generator facade itself (it currently doesn't, but it
+// is the only place a bridge could legitimately live).
+const randExemptSuffix = "internal/rng"
+
+func runGlobalRand(pass *Pass) []Finding {
+	if strings.HasSuffix(pass.Pkg.ImportPath, randExemptSuffix) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		names := map[string]string{} // local name -> import path
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || (path != "math/rand" && path != "math/rand/v2") {
+				continue
+			}
+			name := "rand"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name == "_" {
+				continue
+			}
+			names[name] = path
+			out = append(out, Finding{
+				Analyzer: "globalrand",
+				Pos:      pass.Position(imp.Pos()),
+				Message:  fmt.Sprintf("import of %s outside internal/rng: simulator randomness must flow through the seeded internal/rng streams", path),
+			})
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := names[id.Name]
+			if !ok {
+				return true
+			}
+			what := "top-level function"
+			if strings.HasPrefix(sel.Sel.Name, "New") {
+				what = "generator constructor"
+			}
+			out = append(out, Finding{
+				Analyzer: "globalrand",
+				Pos:      pass.Position(call.Pos()),
+				Message:  fmt.Sprintf("call to %s.%s (%s) outside internal/rng breaks trace determinism; use rng.New(seed)", path, sel.Sel.Name, what),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// locklint guards the goroutine fan-out paths (internal/accuracy,
+// internal/model, internal/experiments and whatever the serving layer
+// adds) against the two concurrency mistakes that survive compilation:
+//
+//  1. sync.Mutex / sync.RWMutex / sync.WaitGroup / sync.Once / sync.Cond
+//     values copied instead of shared — by-value parameters, results,
+//     plain-assignment copies, and by-value call arguments. A copied
+//     WaitGroup's Wait() returns immediately; a copied Mutex guards
+//     nothing. (go vet's copylocks catches a subset; this version also
+//     understands the project's embedding patterns and runs in the same
+//     gate as the other project analyzers.)
+//
+//  2. goroutines launched in a function that contains no collection
+//     point at all — no .Wait() call, no channel receive, no range over
+//     a channel, no select. Fire-and-forget goroutines in the simulator
+//     are bugs: every run must be a complete, deterministic unit of
+//     work. Intentional daemons (a future serving loop) carry a
+//     lint:ignore with the reason.
+func init() {
+	Register(&Analyzer{
+		Name: "locklint",
+		Doc:  "detect sync primitives copied by value and goroutines launched without a wait/collect",
+		Run:  runLockLint,
+	})
+}
+
+func runLockLint(pass *Pass) []Finding {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		out = append(out, lockCopies(pass, file)...)
+		out = append(out, orphanGoroutines(pass, file)...)
+	}
+	return out
+}
+
+// lockCopies reports by-value movement of lock-bearing types.
+func lockCopies(pass *Pass, file *ast.File) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, what string, t types.Type) {
+		out = append(out, Finding{
+			Analyzer: "locklint",
+			Pos:      pass.Position(pos),
+			Message:  fmt.Sprintf("%s copies %s by value; share it with a pointer", what, t),
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncType:
+			for _, fl := range []*ast.FieldList{n.Params, n.Results} {
+				if fl == nil {
+					continue
+				}
+				for _, f := range fl.List {
+					if t := pass.TypeOf(f.Type); lockBearing(t) {
+						report(f.Type.Pos(), "parameter or result", t)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if !readsExistingValue(rhs) {
+					continue
+				}
+				if t := pass.TypeOf(rhs); lockBearing(t) {
+					report(rhs.Pos(), "assignment", t)
+				}
+			}
+		case *ast.CallExpr:
+			if isConversion(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if !readsExistingValue(arg) {
+					continue
+				}
+				if t := pass.TypeOf(arg); lockBearing(t) {
+					report(arg.Pos(), "call argument", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypeOf(n.Value); lockBearing(t) {
+					report(n.Value.Pos(), "range value", t)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// readsExistingValue reports whether e denotes an existing stored value
+// (as opposed to a fresh composite literal, call result, or address).
+func readsExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.IndexExpr:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.MUL
+	}
+	return false
+}
+
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// lockBearing reports whether t is (or transitively contains, by value)
+// one of the sync primitives that must not be copied.
+func lockBearing(t types.Type) bool {
+	return lockBearingSeen(t, map[types.Type]bool{})
+}
+
+func lockBearingSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return true
+			}
+		}
+		return lockBearingSeen(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lockBearingSeen(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockBearingSeen(t.Elem(), seen)
+	}
+	return false
+}
+
+// orphanGoroutines reports go statements inside functions that contain
+// no collection point whatsoever.
+func orphanGoroutines(pass *Pass, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		var goStmts []*ast.GoStmt
+		collects := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				goStmts = append(goStmts, n)
+			case *ast.SelectStmt:
+				collects = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW { // <-ch receive
+					collects = true
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						collects = true
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					collects = true
+				}
+			}
+			return true
+		})
+		if collects {
+			continue
+		}
+		for _, g := range goStmts {
+			out = append(out, Finding{
+				Analyzer: "locklint",
+				Pos:      pass.Position(g.Pos()),
+				Message:  fmt.Sprintf("goroutine launched in %s with no wait or collect in the same function; simulator runs must be complete units of work", fn.Name.Name),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// panicpolicy forbids raw panic() in internal/* library packages.
+//
+// The ROADMAP's serving path (batching, sharding, request fan-out)
+// will run library code under goroutines owned by a server loop; a
+// panic in a library package is then a process crash for every
+// in-flight request. Shape and invariant violations must instead go
+// through the designated tensor.Panicf helper — a single greppable
+// choke point that can later be converted to error returns or a
+// recover boundary without hunting down panic sites. Only the file
+// defining the helper (internal/tensor/panic.go) may contain panic
+// itself.
+//
+// cmd/* binaries and the example programs are outside the policy: a
+// CLI aborting on bad input is fine.
+func init() {
+	Register(&Analyzer{
+		Name: "panicpolicy",
+		Doc:  "forbid raw panic() in internal/* packages; use tensor.Panicf",
+		Run:  runPanicPolicy,
+	})
+}
+
+// panicHelperFile is where the designated helper lives; its own panic
+// call is the one exemption.
+const panicHelperFile = "internal/tensor/panic.go"
+
+func runPanicPolicy(pass *Pass) []Finding {
+	if !strings.Contains(pass.Pkg.ImportPath, "/internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		name := pass.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, panicHelperFile) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A local function named panic would shadow the builtin;
+			// the type info distinguishes them.
+			if pass.Pkg.Info != nil {
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+					return true // shadowed: not the builtin
+				}
+			}
+			out = append(out, Finding{
+				Analyzer: "panicpolicy",
+				Pos:      pass.Position(call.Pos()),
+				Message:  "raw panic in library package; report shape/invariant violations via tensor.Panicf so the serving path keeps one abort choke point",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// threshconst requires alpha_inter / alpha_intra threshold literals to
+// come from the named constants in internal/thresholds.
+//
+// The paper's sensitivity sweep (§VI-C) is defined by a handful of
+// numbers — AlphaIntraMax = 0.45, the 11-set geometry, the quantile
+// tie-break factors. Before this analyzer existed they were scattered
+// as magic floats across internal/core, internal/gru, internal/
+// intercell, internal/intracell and cmd/*; two copies drifting apart
+// would make "threshold set 7" mean different operating points in
+// different figures. The rule: any floating-point literal appearing in
+// a statement (or constant declaration) that also mentions an
+// alpha/threshold-ish identifier — or inside a function whose name
+// mentions one — must instead reference internal/thresholds.
+func init() {
+	Register(&Analyzer{
+		Name: "threshconst",
+		Doc:  "threshold literals must be named constants in internal/thresholds",
+		Run:  runThreshConst,
+	})
+}
+
+// threshConstHome is the one package allowed to define threshold
+// literals.
+const threshConstHome = "internal/thresholds"
+
+// threshIdent matches identifiers that talk about thresholds.
+var threshIdent = regexp.MustCompile(`(?i)alpha|thresh`)
+
+func runThreshConst(pass *Pass) []Finding {
+	if strings.HasSuffix(pass.Pkg.ImportPath, threshConstHome) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if ok {
+						out = append(out, threshLitsIn(pass, vs, "")...)
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				funcName := ""
+				if threshIdent.MatchString(d.Name.Name) {
+					funcName = d.Name.Name
+				}
+				for _, stmt := range d.Body.List {
+					out = append(out, threshStmts(pass, stmt, funcName)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// threshStmts walks a statement tree, re-rooting the ident scan at each
+// innermost statement so one matching line doesn't condemn a whole
+// block.
+func threshStmts(pass *Pass, stmt ast.Stmt, funcName string) []Finding {
+	var out []Finding
+	var walk func(ast.Stmt)
+	walk = func(s ast.Stmt) {
+		children := childStmts(s)
+		if len(children) == 0 {
+			out = append(out, threshLitsIn(pass, s, funcName)...)
+			return
+		}
+		// Scan this statement's non-block parts (e.g. an if condition
+		// or for clause) by masking the child blocks out afterwards.
+		own := threshLitsIn(pass, s, funcName)
+		for _, f := range own {
+			inChild := false
+			for _, c := range children {
+				if posWithin(pass, f, c) {
+					inChild = true
+					break
+				}
+			}
+			if !inChild {
+				out = append(out, f)
+			}
+		}
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(stmt)
+	return out
+}
+
+// childStmts returns the nested statement bodies of s.
+func childStmts(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case *ast.IfStmt:
+		out := []ast.Stmt{s.Body}
+		if s.Else != nil {
+			out = append(out, s.Else)
+		}
+		return out
+	case *ast.ForStmt:
+		return []ast.Stmt{s.Body}
+	case *ast.RangeStmt:
+		return []ast.Stmt{s.Body}
+	case *ast.SwitchStmt:
+		return []ast.Stmt{s.Body}
+	case *ast.TypeSwitchStmt:
+		return []ast.Stmt{s.Body}
+	case *ast.SelectStmt:
+		return []ast.Stmt{s.Body}
+	case *ast.CaseClause:
+		return s.Body
+	case *ast.CommClause:
+		return s.Body
+	case *ast.LabeledStmt:
+		return []ast.Stmt{s.Stmt}
+	}
+	return nil
+}
+
+func posWithin(pass *Pass, f Finding, s ast.Stmt) bool {
+	start := pass.Position(s.Pos())
+	end := pass.Position(s.End())
+	if f.Pos.Filename != start.Filename {
+		return false
+	}
+	after := f.Pos.Line > start.Line || (f.Pos.Line == start.Line && f.Pos.Column >= start.Column)
+	before := f.Pos.Line < end.Line || (f.Pos.Line == end.Line && f.Pos.Column <= end.Column)
+	return after && before
+}
+
+// threshLitsIn reports float literals in node when the node (or the
+// enclosing function name) mentions a threshold identifier.
+func threshLitsIn(pass *Pass, node ast.Node, funcName string) []Finding {
+	var lits []*ast.BasicLit
+	near := funcName
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT {
+				lits = append(lits, n)
+			}
+		case *ast.Ident:
+			if near == "" && threshIdent.MatchString(n.Name) {
+				near = n.Name
+			}
+		case *ast.SelectorExpr:
+			// thresholds.X references are the fix, not a finding;
+			// still scan the receiver side for idents.
+		}
+		return true
+	})
+	if near == "" || len(lits) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, lit := range lits {
+		out = append(out, Finding{
+			Analyzer: "threshconst",
+			Pos:      pass.Position(lit.Pos()),
+			Message:  fmt.Sprintf("threshold literal %s near %q; use a named constant from internal/thresholds so every consumer compares against the same value", lit.Value, near),
+		})
+	}
+	return out
+}

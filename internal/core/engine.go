@@ -21,20 +21,18 @@ import (
 	"mobilstm/internal/sched"
 	"mobilstm/internal/stats"
 	"mobilstm/internal/tensor"
+	"mobilstm/internal/thresholds"
 )
 
-// AlphaIntraMax is the upper limit of the DRS near-zero threshold: with
-// o_t[j] < 0.45 the corresponding h_t element is bounded by 0.45 — well
-// past what "trivial contribution" can mean, which is the point: the top
-// threshold sets are the paper's "most aggressive case with the maximal
-// performance boost" where accuracy visibly degrades (Fig. 19).
-// Threshold set i uses i/10 of it.
-const AlphaIntraMax = 0.45
+// AlphaIntraMax is the upper limit of the DRS near-zero threshold; see
+// internal/thresholds for the rationale. Re-exported because this is the
+// package consumers build sweeps against.
+const AlphaIntraMax = thresholds.AlphaIntraMax
 
 // ThresholdSets is the number of (alpha_inter, alpha_intra) pairs in the
 // paper's sensitivity sweep: set 0 is the exact baseline, set 10 the most
 // aggressive (§VI-C).
-const ThresholdSets = 11
+const ThresholdSets = thresholds.Sets
 
 // Engine evaluates the memory-friendly LSTM system on one benchmark.
 type Engine struct {
@@ -96,11 +94,11 @@ func (e *Engine) calibrateAlphaInter() float64 {
 			if idx < 0 {
 				idx = 0
 			}
-			return rels[idx] * 1.0000001 // break ties upward
+			return rels[idx] * thresholds.TieBreakUp // break ties upward
 		}
 	}
 	e.qMax = 1
-	return rels[len(rels)-1] * 1.01
+	return rels[len(rels)-1] * thresholds.CalibOvershoot
 }
 
 // collectRelevance gathers Algorithm 2 values across the structural
@@ -153,7 +151,7 @@ func (e *Engine) Thresholds(set int) (alphaInter, alphaIntra float64) {
 	if set == 0 || len(e.relDist) == 0 {
 		return 0, alphaIntra
 	}
-	alphaInter = stats.Quantile(e.relDist, f*e.qMax) * 1.0000001
+	alphaInter = stats.Quantile(e.relDist, f*e.qMax) * thresholds.TieBreakUp
 	if alphaInter > e.AlphaInterMax {
 		alphaInter = e.AlphaInterMax
 	}
@@ -417,7 +415,7 @@ func (e *Engine) plan(mode sched.Mode, stats []sched.LayerStats, density float64
 func AOSet(outcomes []*Outcome) int {
 	ao := 0
 	for i, o := range outcomes {
-		if o.Accuracy >= 0.98 {
+		if o.Accuracy >= thresholds.UserAccuracyFloor {
 			ao = i
 		}
 	}

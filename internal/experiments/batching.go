@@ -8,6 +8,7 @@ import (
 	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
 )
 
 // RequestBatching contrasts the two ways to reuse the united weight
@@ -20,7 +21,7 @@ import (
 func (s *Suite) RequestBatching(benchName string, interArrivalMs float64) *report.Table {
 	b, ok := model.ByName(benchName)
 	if !ok {
-		panic("experiments: unknown benchmark " + benchName)
+		tensor.Panicf("experiments: unknown benchmark %q", benchName)
 	}
 	cfg := s.cfg.GPU
 	sim := gpu.NewSimulator(cfg)

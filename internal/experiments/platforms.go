@@ -9,6 +9,7 @@ import (
 	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
 )
 
 // CrossPlatform evaluates the framework across GPU generations (§IV-C:
@@ -23,7 +24,7 @@ func (s *Suite) CrossPlatform(benchName string) *report.Table {
 		"Platform", "MTS", "baseline ms", "combined ms", "speedup", "energy saving")
 	b, ok := model.ByName(benchName)
 	if !ok {
-		panic("experiments: unknown benchmark " + benchName)
+		tensor.Panicf("experiments: unknown benchmark %q", benchName)
 	}
 	// Structural statistics are a property of the model and thresholds,
 	// not the platform: measure them once on the suite's engine.

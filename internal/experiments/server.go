@@ -7,6 +7,7 @@ import (
 	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
 )
 
 // ServerContrast reproduces the §II-C observation that motivates the
@@ -18,7 +19,7 @@ import (
 func (s *Suite) ServerContrast(benchName string) *report.Table {
 	b, ok := model.ByName(benchName)
 	if !ok {
-		panic("experiments: unknown benchmark " + benchName)
+		tensor.Panicf("experiments: unknown benchmark %q", benchName)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("§II-C: server wavefront vs mobile execution (%s)", benchName),

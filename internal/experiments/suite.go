@@ -6,7 +6,6 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"mobilstm/internal/core"
@@ -14,6 +13,7 @@ import (
 	"mobilstm/internal/gpu"
 	"mobilstm/internal/model"
 	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
 	"mobilstm/internal/tradeoff"
 )
 
@@ -66,7 +66,7 @@ func (s *Suite) Engine(name string) *core.Engine {
 	}
 	b, ok := model.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
+		tensor.Panicf("experiments: unknown benchmark %q", name)
 	}
 	e = core.NewEngine(b, s.cfg.Profile, s.cfg.GPU)
 	e.EnergyP = s.cfg.Energy

@@ -1,5 +1,7 @@
 package gpu
 
+import "mobilstm/internal/tensor"
+
 // Cache is a set-associative, LRU, line-granularity cache simulator. It is
 // used to measure the actually-loaded DRAM bytes of the baseline per-cell
 // Sgemv flow (§III-A: "the size of the actually loaded data is upto 100X
@@ -24,7 +26,7 @@ type Cache struct {
 // associativity. size must be a multiple of lineBytes*ways.
 func NewCache(size, lineBytes int64, ways int) *Cache {
 	if size <= 0 || lineBytes <= 0 || ways <= 0 {
-		panic("gpu: invalid cache geometry")
+		tensor.Panicf("gpu: invalid cache geometry")
 	}
 	sets := int(size / (lineBytes * int64(ways)))
 	if sets < 1 {

@@ -18,7 +18,11 @@
 // whole-network simulation stays on the analytic path.
 package cyclesim
 
-import "fmt"
+import (
+	"fmt"
+
+	"mobilstm/internal/tensor"
+)
 
 // Params is the machine description.
 type Params struct {
@@ -146,7 +150,7 @@ func (w *warp) done() bool { return w.compute == 0 && w.shared == 0 && w.mem == 
 // Simulate runs the workload to completion and returns the cycle count.
 func Simulate(p Params, wl Workload) Result {
 	if err := validate(p, wl); err != nil {
-		panic(err)
+		tensor.Panicf("cyclesim: invalid workload: %v", err)
 	}
 	// Distribute warps across SMs; waves beyond the occupancy limit
 	// start when a slot frees (modelled by giving each SM a queue).

@@ -1,3 +1,4 @@
+//lint:file-ignore float64leak same rationale as lstm/calibrate.go: offline statistics accumulate exactly-widened float32 samples in float64; no runtime DRS comparison sees these values
 package gru
 
 import (
@@ -12,7 +13,7 @@ import (
 // of downstream weights, and head margin normalization.
 func Calibrate(n *Network, seqs [][]tensor.Vector, spreadFor func(layer int) float64) {
 	if len(seqs) == 0 {
-		panic("gru: Calibrate needs at least one sequence")
+		tensor.Panicf("gru: Calibrate needs at least one sequence")
 	}
 	cur := seqs
 	var act tensor.Vector

@@ -9,6 +9,7 @@ import (
 	"mobilstm/internal/rng"
 	"mobilstm/internal/stats"
 	"mobilstm/internal/tensor"
+	"mobilstm/internal/thresholds"
 )
 
 // Benchmark describes a GRU workload; the zoo mirrors representative
@@ -108,6 +109,7 @@ func NewEngine(b Benchmark, p EngineProfile, cfg gpu.Config) *Engine {
 				margin = logits[best] - v
 			}
 		}
+		//lint:ignore float64leak float32-to-float64 widening is exact; this margin filter is corpus acceptance, not a DRS threshold compare
 		if float64(margin) < minMargin {
 			continue
 		}
@@ -131,13 +133,13 @@ func (e *Engine) referenceMargin(gen *rng.RNG, h, length int) float64 {
 		probes[i] = genSeq(gen, h, length, e.B.PauseRate)
 		logits := e.Net.Run(probes[i], Baseline())
 		best := tensor.ArgMax(logits)
-		m := 1e18
+		m := float32(1e18)
 		for j, v := range logits {
-			if j != best && float64(logits[best]-v) < m {
-				m = float64(logits[best] - v)
+			if j != best && logits[best]-v < m {
+				m = logits[best] - v
 			}
 		}
-		margins[i] = m
+		margins[i] = float64(m)
 	}
 	preds := CollectPredictors(e.Net, probes[:1])
 	tr := &Trace{}
@@ -146,12 +148,12 @@ func (e *Engine) referenceMargin(gen *rng.RNG, h, length int) float64 {
 	for _, lt := range tr.Layers {
 		rels = append(rels, lt.Relevance...)
 	}
-	alpha := 0.0
+	var alpha float64
 	if len(rels) > 0 {
-		alpha = stats.QuantileOf(rels, 0.2)
+		alpha = stats.QuantileOf(rels, thresholds.GRUCalibInterQuantile)
 	}
 	opt := RunOptions{Inter: true, AlphaInter: alpha, MTS: e.MTS, Predictors: preds,
-		Intra: true, AlphaIntra: 0.18}
+		Intra: true, AlphaIntra: thresholds.GRUCalibAlphaIntra}
 	dists := make([]float64, 0, 8)
 	for _, xs := range probes[:8] {
 		base := e.Net.Run(xs, Baseline())
@@ -234,14 +236,14 @@ func (e *Engine) Thresholds(set int) (float64, float64) {
 		set = 10
 	}
 	f := float64(set) / 10
-	alphaIntra := 0.45 * f
+	alphaIntra := thresholds.AlphaIntraMax * f
 	if set == 0 || len(e.relDist) == 0 {
 		return 0, alphaIntra
 	}
 	// The GRU division walk is shallower than the LSTM's (30th
 	// percentile at set 10): carry-dominated units give GRU layers
 	// fewer genuinely weak links, so the extension leans on DRS.
-	return stats.Quantile(e.relDist, f*0.3) * 1.0000001, alphaIntra
+	return stats.Quantile(e.relDist, f*thresholds.GRUQuantileDepth) * thresholds.TieBreakUp, alphaIntra
 }
 
 // Outcome is one evaluated GRU operating point.

@@ -26,8 +26,6 @@
 package gru
 
 import (
-	"fmt"
-
 	"mobilstm/internal/intercell"
 	"mobilstm/internal/rng"
 	"mobilstm/internal/tensor"
@@ -69,7 +67,7 @@ type Network struct {
 // NewNetwork builds a zero-weight GRU network.
 func NewNetwork(input, hidden, layers, classes int) *Network {
 	if layers < 1 || classes < 1 {
-		panic("gru: network needs at least one layer and one class")
+		tensor.Panicf("gru: network needs at least one layer and one class")
 	}
 	n := &Network{}
 	in := input
@@ -167,14 +165,14 @@ type LayerTrace struct {
 // Run executes the network on one sequence and returns the logits.
 func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 	if len(xs) == 0 {
-		panic("gru: empty input sequence")
+		tensor.Panicf("gru: empty input sequence")
 	}
 	if opt.Inter {
 		if opt.MTS < 1 {
-			panic("gru: Inter mode requires MTS >= 1")
+			tensor.Panicf("gru: Inter mode requires MTS >= 1")
 		}
 		if len(opt.Predictors) != len(n.Layers) {
-			panic(fmt.Sprintf("gru: %d predictors for %d layers", len(opt.Predictors), len(n.Layers)))
+			tensor.Panicf("gru: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
 	seq := xs

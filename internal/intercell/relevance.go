@@ -4,6 +4,8 @@
 // links, predicting the lost links (Eq. 6), and re-organizing the
 // sub-layers into bandwidth-balanced tissues bounded by the platform's
 // maximum tissue size (MTS).
+//
+//lint:file-ignore float64leak Algorithm 2 saturation scores are defined on float64 gate pre-activations (transcendental domain, like tensor/activation.go); alpha_inter is calibrated from this same float64 pipeline, so threshold comparisons stay self-consistent
 package intercell
 
 import (
@@ -26,7 +28,7 @@ func NewAnalyzer(uf, ui, uc, uo *tensor.Matrix, bf, bi, bc, bo tensor.Vector) *A
 	h := uf.Rows
 	if ui.Rows != h || uc.Rows != h || uo.Rows != h ||
 		len(bf) != h || len(bi) != h || len(bc) != h || len(bo) != h {
-		panic("intercell: inconsistent layer shapes")
+		tensor.Panicf("intercell: inconsistent layer shapes")
 	}
 	return &Analyzer{
 		dim: h,
@@ -104,7 +106,7 @@ func max2(a, b float64) float64 {
 // previous cell's output cannot influence this cell at all.
 func (a *Analyzer) Relevance(xf, xi, xc, xo tensor.Vector) float64 {
 	if len(xf) != a.dim || len(xi) != a.dim || len(xc) != a.dim || len(xo) != a.dim {
-		panic("intercell: Relevance input length mismatch")
+		tensor.Panicf("intercell: Relevance input length mismatch")
 	}
 	var s float64
 	for j := 0; j < a.dim; j++ {

@@ -50,7 +50,7 @@ func TissueTrivialRows(os []tensor.Vector, alpha float64) ([]bool, int) {
 		trivial := true
 		for _, o := range os {
 			if len(o) != dim {
-				panic("intracell: TissueTrivialRows dimension mismatch")
+				tensor.Panicf("intracell: TissueTrivialRows dimension mismatch")
 			}
 			if o[j] >= a {
 				trivial = false

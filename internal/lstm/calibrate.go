@@ -1,3 +1,4 @@
+//lint:file-ignore float64leak calibration is offline weight synthesis: RMS/mean/margin statistics accumulate exactly-widened float32 samples in float64 on purpose, and nothing here feeds a runtime DRS comparison
 package lstm
 
 import (
@@ -30,7 +31,7 @@ import (
 // classification margins comparable across benchmarks.
 func Calibrate(n *Network, seqs [][]tensor.Vector, spreadFor func(layer int) float64) {
 	if len(seqs) == 0 {
-		panic("lstm: Calibrate needs at least one sequence")
+		tensor.Panicf("lstm: Calibrate needs at least one sequence")
 	}
 	cur := seqs
 	var act tensor.Vector // per-feature mean |h_j| of the previous layer

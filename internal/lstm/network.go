@@ -84,7 +84,7 @@ type Network struct {
 // after an input->hidden first layer, and a classification head.
 func NewNetwork(input, hidden, layers, classes int) *Network {
 	if layers < 1 || classes < 1 {
-		panic("lstm: network needs at least one layer and one class")
+		tensor.Panicf("lstm: network needs at least one layer and one class")
 	}
 	n := &Network{Gate: tensor.ActSigmoid}
 	in := input

@@ -1,8 +1,6 @@
 package lstm
 
 import (
-	"fmt"
-
 	"mobilstm/internal/intercell"
 	"mobilstm/internal/intracell"
 	"mobilstm/internal/tensor"
@@ -81,14 +79,14 @@ func (lt *LayerTrace) MeanSkipFraction(hidden int) float64 {
 // Input()); every layer consumes the previous layer's hidden outputs.
 func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 	if len(xs) == 0 {
-		panic("lstm: empty input sequence")
+		tensor.Panicf("lstm: empty input sequence")
 	}
 	if opt.Inter {
 		if opt.MTS < 1 {
-			panic("lstm: Inter mode requires MTS >= 1")
+			tensor.Panicf("lstm: Inter mode requires MTS >= 1")
 		}
 		if len(opt.Predictors) != len(n.Layers) {
-			panic(fmt.Sprintf("lstm: %d predictors for %d layers", len(opt.Predictors), len(n.Layers)))
+			tensor.Panicf("lstm: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
 	seq := xs

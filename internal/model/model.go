@@ -18,6 +18,7 @@ import (
 	"mobilstm/internal/rng"
 	"mobilstm/internal/stats"
 	"mobilstm/internal/tensor"
+	"mobilstm/internal/thresholds"
 )
 
 // Task is the NLP task class of a benchmark (Table II "Abbr" column).
@@ -212,9 +213,10 @@ const (
 	marginCapQuantile = 0.9
 	// calibMTS and calibAlphaIntra define the reference operating point
 	// used purely for corpus calibration: DRS just below its mid threshold plus
-	// layer division at the 35th relevance percentile.
+	// layer division at the 35th relevance percentile (constants live in
+	// internal/thresholds with the rest of the sweep geometry).
 	calibMTS        = 5
-	calibAlphaIntra = 0.2
+	calibAlphaIntra = thresholds.CalibAlphaIntra
 )
 
 // buildSamples fills seqs/labels with margin-filtered sequences, running
@@ -282,9 +284,9 @@ func referenceNoise(net *lstm.Network, probe [][]tensor.Vector) float64 {
 	for _, lt := range tr.Layers {
 		rels = append(rels, lt.Relevance...)
 	}
-	alphaInter := 0.0
+	var alphaInter float64
 	if len(rels) > 0 {
-		alphaInter = stats.QuantileOf(rels, 0.35)
+		alphaInter = stats.QuantileOf(rels, thresholds.CalibInterQuantile)
 	}
 	opt := lstm.RunOptions{
 		Inter: true, AlphaInter: alphaInter, MTS: calibMTS, Predictors: preds,
@@ -294,13 +296,17 @@ func referenceNoise(net *lstm.Network, probe [][]tensor.Vector) float64 {
 	parallelFor(len(probe), func(i int) {
 		base := net.Run(probe[i], lstm.Baseline())
 		approx := net.Run(probe[i], opt)
-		var d float64
+		var d float32
 		for j := range base {
-			if v := math.Abs(float64(base[j] - approx[j])); v > d {
+			v := base[j] - approx[j]
+			if v < 0 {
+				v = -v
+			}
+			if v > d {
 				d = v
 			}
 		}
-		dists[i] = d
+		dists[i] = float64(d)
 	})
 	return stats.Median(dists)
 }
@@ -309,13 +315,13 @@ func referenceNoise(net *lstm.Network, probe [][]tensor.Vector) float64 {
 func classifyMargin(net *lstm.Network, xs []tensor.Vector) (int, float64) {
 	logits := net.Run(xs, lstm.Baseline())
 	best := tensor.ArgMax(logits)
-	margin := math.Inf(1)
+	margin := float32(math.Inf(1))
 	for j, v := range logits {
-		if j != best && float64(logits[best]-v) < margin {
-			margin = float64(logits[best] - v)
+		if j != best && logits[best]-v < margin {
+			margin = logits[best] - v
 		}
 	}
-	return best, margin
+	return best, float64(margin)
 }
 
 // parallelFor runs f(0..n-1) across GOMAXPROCS workers.

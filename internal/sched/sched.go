@@ -12,6 +12,7 @@ import (
 	"mobilstm/internal/intercell"
 	"mobilstm/internal/kernels"
 	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
 )
 
 // Mode selects the execution flow.
@@ -87,7 +88,7 @@ type Plan struct {
 // GPUs (§II-C).
 func Kernels(p Plan) []gpu.KernelSpec {
 	if err := p.validate(); err != nil {
-		panic(err)
+		tensor.Panicf("sched: invalid plan: %v", err)
 	}
 	b := kernels.NewBuilder(p.Cfg)
 	r := rng.New(p.Seed ^ 0x9d5c)

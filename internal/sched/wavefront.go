@@ -1,10 +1,9 @@
 package sched
 
 import (
-	"fmt"
-
 	"mobilstm/internal/gpu"
 	"mobilstm/internal/kernels"
+	"mobilstm/internal/tensor"
 )
 
 // Server-class execution (§II-C): on a large GPU with enough on-chip
@@ -74,7 +73,7 @@ type WavefrontResult struct {
 // traffic; non-resident layers stream U from DRAM, sharing bandwidth.
 func Wavefront(p WavefrontPlan) WavefrontResult {
 	if p.Hidden < 1 || p.Length < 1 || p.Layers < 1 {
-		panic(fmt.Sprintf("sched: invalid wavefront plan %+v", p))
+		tensor.Panicf("sched: invalid wavefront plan %+v", p)
 	}
 	kb := kernels.NewBuilder(p.Cfg)
 	sim := gpu.NewSimulator(p.Cfg)

@@ -10,13 +10,15 @@ package stats
 import (
 	"math"
 	"sort"
+
+	"mobilstm/internal/tensor"
 )
 
 // Quantile returns the q-quantile of sorted data (q clamped to [0, 1]).
 // It panics on empty input.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: Quantile of empty slice")
+		tensor.Panicf("stats: Quantile of empty slice")
 	}
 	if q < 0 {
 		q = 0

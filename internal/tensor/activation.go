@@ -61,7 +61,8 @@ func (a Activation) Apply(x float32) float32 {
 	case ActTanh:
 		return Tanh(x)
 	default:
-		panic("tensor: unknown activation")
+		Panicf("tensor: unknown activation %d", int(a))
+		return 0 // unreachable
 	}
 }
 
@@ -83,7 +84,7 @@ func (a Activation) String() string {
 // dst and x may alias.
 func SigmoidVec(dst, x Vector) {
 	if len(dst) != len(x) {
-		panic("tensor: SigmoidVec length mismatch")
+		Panicf("tensor: SigmoidVec length mismatch")
 	}
 	for i, v := range x {
 		dst[i] = Sigmoid(v)
@@ -94,7 +95,7 @@ func SigmoidVec(dst, x Vector) {
 // alias.
 func TanhVec(dst, x Vector) {
 	if len(dst) != len(x) {
-		panic("tensor: TanhVec length mismatch")
+		Panicf("tensor: TanhVec length mismatch")
 	}
 	for i, v := range x {
 		dst[i] = Tanh(v)

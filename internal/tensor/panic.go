@@ -1,0 +1,21 @@
+package tensor
+
+import "fmt"
+
+// Panicf is the designated escape hatch for shape and invariant
+// violations in library packages. mobilstm's panicpolicy analyzer
+// (cmd/mobilstm-lint) forbids raw panic() calls everywhere under
+// internal/ except in this file, so that every abort in library code is
+// greppable, formatted, and — once the serving path lands — trivially
+// convertible to an error return at a single choke point.
+//
+// Callers pass a message with their own package prefix, e.g.
+//
+//	tensor.Panicf("lstm: %d predictors for %d layers", p, l)
+//
+// Panicf never returns. The Go compiler does not know that, so callers
+// in value-returning positions must follow it with an unreachable
+// return.
+func Panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

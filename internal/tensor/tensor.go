@@ -8,11 +8,6 @@
 // every operation writes into a caller-provided destination.
 package tensor
 
-import (
-	"fmt"
-	"math"
-)
-
 // Vector is a dense float32 vector.
 type Vector []float32
 
@@ -42,7 +37,7 @@ type Matrix struct {
 // NewMatrix returns a zero matrix with the given shape.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+		Panicf("tensor: negative shape %dx%d", rows, cols)
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
@@ -74,8 +69,8 @@ func (m *Matrix) SizeBytes() int64 { return int64(m.Rows) * int64(m.Cols) * 4 }
 // implementation within a small factor of what the memory system allows.
 func Gemv(dst Vector, m *Matrix, x Vector) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
-		panic(fmt.Sprintf("tensor: Gemv shape mismatch: dst %d, m %dx%d, x %d",
-			len(dst), m.Rows, m.Cols, len(x)))
+		Panicf("tensor: Gemv shape mismatch: dst %d, m %dx%d, x %d",
+			len(dst), m.Rows, m.Cols, len(x))
 	}
 	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
@@ -102,11 +97,11 @@ func Gemv(dst Vector, m *Matrix, x Vector) {
 // the paper's Sgemv(U_{f,i,c}, h, R) kernel with trivial rows disabled.
 func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, fill float32) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
-		panic(fmt.Sprintf("tensor: GemvRows shape mismatch: dst %d, m %dx%d, x %d",
-			len(dst), m.Rows, m.Cols, len(x)))
+		Panicf("tensor: GemvRows shape mismatch: dst %d, m %dx%d, x %d",
+			len(dst), m.Rows, m.Cols, len(x))
 	}
 	if skip != nil && len(skip) != m.Rows {
-		panic("tensor: GemvRows skip length mismatch")
+		Panicf("tensor: GemvRows skip length mismatch")
 	}
 	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
@@ -128,8 +123,8 @@ func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, fill float32) {
 // simple ikj loop order which is cache-friendly for row-major storage.
 func Gemm(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: Gemm shape mismatch: dst %dx%d, a %dx%d, b %dx%d",
-			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+		Panicf("tensor: Gemm shape mismatch: dst %dx%d, a %dx%d, b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	for i := range dst.Data {
 		dst.Data[i] = 0
@@ -153,7 +148,7 @@ func Gemm(dst, a, b *Matrix) {
 // Axpy computes dst[i] += alpha * x[i].
 func Axpy(dst Vector, alpha float32, x Vector) {
 	if len(dst) != len(x) {
-		panic("tensor: Axpy length mismatch")
+		Panicf("tensor: Axpy length mismatch")
 	}
 	for i := range dst {
 		dst[i] += alpha * x[i]
@@ -163,7 +158,7 @@ func Axpy(dst Vector, alpha float32, x Vector) {
 // Add computes dst[i] = a[i] + b[i].
 func Add(dst, a, b Vector) {
 	if len(dst) != len(a) || len(a) != len(b) {
-		panic("tensor: Add length mismatch")
+		Panicf("tensor: Add length mismatch")
 	}
 	for i := range dst {
 		dst[i] = a[i] + b[i]
@@ -174,7 +169,7 @@ func Add(dst, a, b Vector) {
 // LSTM gate equations).
 func Mul(dst, a, b Vector) {
 	if len(dst) != len(a) || len(a) != len(b) {
-		panic("tensor: Mul length mismatch")
+		Panicf("tensor: Mul length mismatch")
 	}
 	for i := range dst {
 		dst[i] = a[i] * b[i]
@@ -184,7 +179,7 @@ func Mul(dst, a, b Vector) {
 // Dot returns the inner product of a and b.
 func Dot(a, b Vector) float32 {
 	if len(a) != len(b) {
-		panic("tensor: Dot length mismatch")
+		Panicf("tensor: Dot length mismatch")
 	}
 	var s float32
 	for i := range a {
@@ -202,7 +197,10 @@ func AbsRowSums(m *Matrix) Vector {
 		row := m.Data[i*n : i*n+n]
 		var s float32
 		for _, v := range row {
-			s += float32(math.Abs(float64(v)))
+			if v < 0 {
+				v = -v
+			}
+			s += v
 		}
 		d[i] = s
 	}
@@ -213,7 +211,7 @@ func AbsRowSums(m *Matrix) Vector {
 // favour of the lower index. It panics on an empty vector.
 func ArgMax(v Vector) int {
 	if len(v) == 0 {
-		panic("tensor: ArgMax of empty vector")
+		Panicf("tensor: ArgMax of empty vector")
 	}
 	best := 0
 	for i := 1; i < len(v); i++ {
