@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke check
+.PHONY: build test race vet lint lint-json fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ vet:
 
 lint:
 	$(GO) run ./cmd/mobilstm-lint ./...
+
+# Machine-readable findings for CI artifacts: lint-findings.json is
+# written even when findings exist (exit 1), so counts stay diffable
+# across PRs; only a load/usage error (exit 2) fails the target. The
+# binary is built explicitly because `go run` flattens every non-zero
+# program exit to 1, losing the findings-vs-error distinction.
+lint-json:
+	$(GO) build -o /tmp/mobilstm-lint ./cmd/mobilstm-lint
+	/tmp/mobilstm-lint -json ./... > lint-findings.json; \
+	status=$$?; if [ $$status -ge 2 ]; then exit $$status; fi
 
 # Short deterministic shake of the gpu fuzz targets; CI runs this in
 # addition to `check`.

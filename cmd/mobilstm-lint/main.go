@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = fs.String("disable", "", "comma-separated analyzers to skip")
 		list    = fs.Bool("list", false, "list registered analyzers and exit")
+		tests   = fs.Bool("tests", true, "also analyze _test.go packages (test-scoped analyzers only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "mobilstm-lint:", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 	pkgs, err := loader.Load()
 	if err != nil {
 		fmt.Fprintln(stderr, "mobilstm-lint:", err)

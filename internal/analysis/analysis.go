@@ -52,6 +52,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by -list.
 	Doc string
+	// Tests marks analyzers that also run on _test.go packages.
+	// Most analyzers guard production numerics and skip tests, where
+	// deliberate panics and testing/quick's *math/rand.Rand signatures
+	// are idiomatic; determinism rules (globalrand, panicpolicy) stay on.
+	Tests bool
 	// Run produces the findings for one package.
 	Run func(*Pass) []Finding
 }
@@ -91,6 +96,9 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	for _, pkg := range pkgs {
 		pass := &Pass{Pkg: pkg}
 		for _, a := range analyzers {
+			if pkg.ForTest != "" && !a.Tests {
+				continue
+			}
 			findings = append(findings, a.Run(pass)...)
 		}
 		s, malformed := collectSuppressions(pkg.Fset, pkg.Files)

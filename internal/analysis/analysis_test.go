@@ -59,7 +59,7 @@ func wantLines(t *testing.T, findings []Finding, analyzer string, lines ...int) 
 }
 
 func TestRegistryHasAllAnalyzers(t *testing.T) {
-	want := []string{"float64leak", "globalrand", "locklint", "panicpolicy", "threshconst"}
+	want := []string{"float64leak", "globalrand", "locklint", "maporder", "panicpolicy", "shapecheck", "threshconst"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))

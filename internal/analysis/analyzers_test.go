@@ -76,19 +76,25 @@ func f(x float32, alpha float64) bool {
 }
 `
 	got := runFixture(t, Lookup("float64leak"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
-	wantLines(t, got, "float64leak", 6, 8, 10, 11)
-	if !strings.Contains(got[3].Message, "comparison") {
-		t.Errorf("threshold compare should be reported as a comparison: %s", got[3].Message)
+	// Line 9 (`_ = y + acc`) fires too now that taint flows through the
+	// locals y and acc instead of stopping at the conversion sites.
+	wantLines(t, got, "float64leak", 6, 8, 9, 10, 11)
+	if !strings.Contains(got[4].Message, "comparison") {
+		t.Errorf("threshold compare should be reported as a comparison: %s", got[4].Message)
 	}
 }
 
 func TestFloat64LeakSilentOnClean(t *testing.T) {
 	src := `package ok
 
+func consume(v float64) {}
+
 func g(x float32, n int) float64 {
 	y := float64(x)
+	consume(y)
 	z := float64(n) * 2.0
-	return y + z
+	w := z + 1
+	return w
 }
 `
 	if got := runFixture(t, Lookup("float64leak"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {

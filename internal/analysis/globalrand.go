@@ -20,7 +20,10 @@ func init() {
 	Register(&Analyzer{
 		Name: "globalrand",
 		Doc:  "forbid math/rand use outside internal/rng (simulator determinism)",
-		Run:  runGlobalRand,
+		// Tests draw randomness too — an unseeded rand in a property
+		// test makes failures unreproducible, so the rule stays on.
+		Tests: true,
+		Run:   runGlobalRand,
 	})
 }
 
@@ -30,7 +33,7 @@ func init() {
 const randExemptSuffix = "internal/rng"
 
 func runGlobalRand(pass *Pass) []Finding {
-	if strings.HasSuffix(pass.Pkg.ImportPath, randExemptSuffix) {
+	if strings.HasSuffix(pass.Pkg.ScopePath(), randExemptSuffix) {
 		return nil
 	}
 	var out []Finding

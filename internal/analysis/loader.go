@@ -14,10 +14,12 @@ import (
 	"strings"
 )
 
-// Package is one parsed and type-checked package of the module. Test
-// files (*_test.go) are excluded: the analyzers guard the simulator's
-// production numerics, and test-only idioms (testing/quick's
-// *math/rand.Rand signatures, deliberate panics) are out of scope.
+// Package is one parsed and type-checked package of the module. With
+// Loader.IncludeTests, _test.go files load as separate Package values
+// (ForTest non-empty): in-package tests are type-checked together with
+// the base sources but carry only the test files in Files, so findings
+// never duplicate across the base and test passes; external _test
+// packages stand alone.
 type Package struct {
 	ImportPath string
 	Dir        string
@@ -25,10 +27,23 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// ForTest is the import path of the package under test when this
+	// Package holds _test.go files, and "" for ordinary packages.
+	ForTest string
 	// TypeErrors holds any type-checker diagnostics. The module is
 	// expected to compile, so these normally stay empty; analyzers
 	// that need type information degrade gracefully when they don't.
 	TypeErrors []error
+}
+
+// ScopePath returns the import path analyzers should use for
+// package-scoped policy decisions (exemption homes, internal/ rules):
+// for a test package, the path of the package under test.
+func (p *Package) ScopePath() string {
+	if p.ForTest != "" {
+		return p.ForTest
+	}
+	return p.ImportPath
 }
 
 // Pass is the per-package unit of work handed to an analyzer.
@@ -60,6 +75,11 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 type Loader struct {
 	ModulePath string
 	Root       string
+	// IncludeTests adds _test.go packages to Load's result. Test
+	// packages load in a second pass, after every base package is
+	// type-checked and memoized, so a test file importing a sibling
+	// that imports the package under test cannot report a false cycle.
+	IncludeTests bool
 
 	fset *token.FileSet
 	std  types.Importer
@@ -131,6 +151,15 @@ func (l *Loader) Load() ([]*Package, error) {
 			out = append(out, pkg)
 		}
 	}
+	if l.IncludeTests {
+		for _, dir := range dirs {
+			tps, err := l.loadTestPackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tps...)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
 }
@@ -156,7 +185,7 @@ func (l *Loader) packageDirs() ([]string, error) {
 			return err
 		}
 		for _, e := range ents {
-			if goSourceFile(e.Name()) {
+			if goSourceFile(e.Name()) || (l.IncludeTests && strings.HasSuffix(e.Name(), "_test.go")) {
 				dirs = append(dirs, path)
 				break
 			}
@@ -168,6 +197,85 @@ func (l *Loader) packageDirs() ([]string, error) {
 
 func goSourceFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// parseFiles parses the named files of dir in sorted order.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var files []*ast.File
+	for _, name := range sorted {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loadTestPackages builds the test packages of dir: the in-package
+// tests (type-checked against the already-loaded base sources, but
+// carrying only the test files) and the external _test package.
+func (l *Loader) loadTestPackages(dir string) ([]*Package, error) {
+	ip, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, err
+	}
+	base := l.pkgs[ip]
+	var out []*Package
+	if len(bp.TestGoFiles) > 0 {
+		testFiles, err := l.parseFiles(dir, bp.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{
+			ImportPath: ip + " [tests]",
+			Dir:        dir,
+			Fset:       l.fset,
+			Files:      testFiles,
+			Info:       newInfo(),
+			ForTest:    ip,
+		}
+		all := testFiles
+		if base != nil {
+			all = append(append([]*ast.File(nil), base.Files...), testFiles...)
+		}
+		cfg := types.Config{
+			Importer: l,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		pkg.Types, _ = cfg.Check(ip, l.fset, all, pkg.Info)
+		out = append(out, pkg)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		xFiles, err := l.parseFiles(dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{
+			ImportPath: ip + "_test",
+			Dir:        dir,
+			Fset:       l.fset,
+			Files:      xFiles,
+			Info:       newInfo(),
+			ForTest:    ip,
+		}
+		cfg := types.Config{
+			Importer: l,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		pkg.Types, _ = cfg.Check(ip+"_test", l.fset, xFiles, pkg.Info)
+		out = append(out, pkg)
+	}
+	return out, nil
 }
 
 // importPathFor maps a module directory to its import path.
@@ -207,15 +315,14 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		}
 		return nil, err
 	}
-	var files []*ast.File
-	names := append([]string(nil), bp.GoFiles...)
-	sort.Strings(names)
-	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
+	// A directory holding only _test.go files has no base package;
+	// loadTestPackages picks it up when IncludeTests is set.
+	if len(bp.GoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
 	}
 	pkg := &Package{
 		ImportPath: ip,

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporder flags map iteration feeding report/figure output.
+//
+// Go randomizes map iteration order per range statement, so a loop
+// like `for k, v := range scores { table.AddRow(...) }` emits rows in
+// a different order every run. The repo's reproducibility contract
+// (DESIGN's byte-identical regeneration goal) extends to the rendered
+// artifacts themselves: tables and figures must diff clean across runs,
+// not just contain the same multiset of rows. The rule: inside any
+// function that feeds internal/report — its signature mentions a report
+// type, or its body calls into the report package — ranging over a map
+// is a finding; iterate over sorted keys instead. Accumulation loops in
+// functions that never touch report output (per-key sums, histogram
+// fills) are order-insensitive and stay out of scope.
+//
+// internal/report itself is the rendering home and is exempt: its own
+// map ranges are required to sort before emission (enforced by its
+// tests), and flagging them here would just force annotations where the
+// invariant already lives.
+func init() {
+	Register(&Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration feeding report/figure output must go through sorted keys",
+		Run:  runMapOrder,
+	})
+}
+
+// reportPkgSuffix identifies the rendering package by import-path
+// suffix, so fixtures under any module path participate.
+const reportPkgSuffix = "internal/report"
+
+func runMapOrder(pass *Pass) []Finding {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	if strings.HasSuffix(pass.Pkg.ScopePath(), reportPkgSuffix) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !feedsReport(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: "maporder",
+					Pos:      pass.Position(rs.Pos()),
+					Message:  "map iteration order is randomized and this function feeds report/figure output; iterate over sorted keys so regenerated artifacts are byte-identical",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// feedsReport reports whether the function touches internal/report:
+// a parameter, result or receiver type mentions one of its types, or
+// the body references one of its objects (report.NewTable, methods on
+// a report value).
+func feedsReport(pass *Pass, fd *ast.FuncDecl) bool {
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params, fd.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			if typeMentionsReport(pass.TypeOf(field.Type), map[types.Type]bool{}) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj != nil && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), reportPkgSuffix) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// typeMentionsReport walks a type structurally looking for a named type
+// declared in internal/report.
+func typeMentionsReport(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if t.Obj().Pkg() != nil && strings.HasSuffix(t.Obj().Pkg().Path(), reportPkgSuffix) {
+			return true
+		}
+		return typeMentionsReport(t.Underlying(), seen)
+	case *types.Pointer:
+		return typeMentionsReport(t.Elem(), seen)
+	case *types.Slice:
+		return typeMentionsReport(t.Elem(), seen)
+	case *types.Array:
+		return typeMentionsReport(t.Elem(), seen)
+	case *types.Map:
+		return typeMentionsReport(t.Key(), seen) || typeMentionsReport(t.Elem(), seen)
+	case *types.Chan:
+		return typeMentionsReport(t.Elem(), seen)
+	case *types.Signature:
+		return typeMentionsReport(t.Params(), seen) || typeMentionsReport(t.Results(), seen)
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if typeMentionsReport(t.At(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if typeMentionsReport(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

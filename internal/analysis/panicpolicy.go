@@ -23,7 +23,11 @@ func init() {
 	Register(&Analyzer{
 		Name: "panicpolicy",
 		Doc:  "forbid raw panic() in internal/* packages; use tensor.Panicf",
-		Run:  runPanicPolicy,
+		// A panicking helper in a test file still crashes the whole
+		// test binary mid-run; t.Fatalf / tensor.Panicf keep the abort
+		// paths uniform, so the rule extends to _test.go.
+		Tests: true,
+		Run:   runPanicPolicy,
 	})
 }
 
@@ -32,7 +36,7 @@ func init() {
 const panicHelperFile = "internal/tensor/panic.go"
 
 func runPanicPolicy(pass *Pass) []Finding {
-	if !strings.Contains(pass.Pkg.ImportPath, "/internal/") {
+	if !strings.Contains(pass.Pkg.ScopePath(), "/internal/") {
 		return nil
 	}
 	var out []Finding

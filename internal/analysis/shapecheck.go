@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// shapecheck verifies tensor dimensions at lint time.
+//
+// The simulator's correctness hinges on dimensions flowing consistently
+// through the paper's pipeline — the united recurrent matrix is 4h×h,
+// DRS row masks are sized to its 4h rows, Eq. 6 predicted-context
+// vectors are h long — but a mismatched Gemv(dst, m, x) only fails at
+// runtime through tensor.Panicf. shapecheck runs a symbolic dimension
+// lattice over each function body on the dataflow engine: vector and
+// matrix shapes are learned from tensor.NewVector/NewMatrix/Row/
+// AbsRowSums/Clone and make(), integer dimensions fold through named
+// constants and coef·base products (4*h keeps the base h), and every
+// Gemv/GemvRows/Gemm/Add/Mul/Axpy/Dot/SigmoidVec/HardSigmoidVec/TanhVec
+// call site is checked for compatible dst/m/x dimensions. The
+// kernels.Builder cost constructors take the same h/e/t integers, so a
+// dimension variable shared between a tensor allocation and a kernel
+// spec is tracked as one symbol.
+//
+// Only definite mismatches are reported: both sides known, same
+// symbolic base (or both literal), different magnitude. Incomparable
+// bases — e.g. a dst allocated from l.Hidden against a matrix loaded
+// from disk — stay silent, so intentionally dynamic shapes (DRS-
+// compacted rows, calibration subsets) need no annotations; where a
+// shape really is recomputed mid-function a //lint:ignore shapecheck
+// with a reason documents it.
+func init() {
+	Register(&Analyzer{
+		Name: "shapecheck",
+		Doc:  "verify tensor dimensions symbolically at every Gemv/Gemm/element-wise call site",
+		Run:  runShapeCheck,
+	})
+}
+
+// tensorPkgSuffix identifies the tensor package by import-path suffix,
+// so fixtures under any module path participate.
+const tensorPkgSuffix = "internal/tensor"
+
+func runShapeCheck(pass *Pass) []Finding {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	c := &shapeClient{pass: pass}
+	runDataflow(pass, pass.Pkg.Files, c)
+	return c.findings
+}
+
+// dim is one point of the symbolic dimension lattice: coef·base, with
+// base nil for pure integer literals; the zero dim is ⊤ (unknown).
+type dim struct {
+	known bool
+	coef  int64
+	base  any // nil (literal), types.Object, or canonical string
+}
+
+func litDim(v int64) dim  { return dim{known: true, coef: v} }
+func symDim(base any) dim { return dim{known: true, coef: 1, base: base} }
+func (d dim) scaled(v int64) dim {
+	if !d.known {
+		return dim{}
+	}
+	return dim{known: true, coef: v * d.coef, base: d.base}
+}
+
+func (d dim) String() string {
+	if !d.known {
+		return "?"
+	}
+	if d.base == nil {
+		return strconv.FormatInt(d.coef, 10)
+	}
+	name := ""
+	switch b := d.base.(type) {
+	case types.Object:
+		name = b.Name()
+	case string:
+		name = b
+	}
+	if d.coef == 1 {
+		return name
+	}
+	return fmt.Sprintf("%d*%s", d.coef, name)
+}
+
+// conflicts reports a definite mismatch: both dims known, comparable
+// bases, different magnitude. Different bases are incomparable — not
+// wrong — which is what keeps the clean repo at zero findings.
+func (a dim) conflicts(b dim) bool {
+	if !a.known || !b.known || a.base != b.base {
+		return false
+	}
+	return a.coef != b.coef
+}
+
+func mergeDim(a, b dim) dim {
+	if a == b {
+		return a
+	}
+	return dim{}
+}
+
+// The shape facts: integer dimension variables, vectors (and other
+// length-checked slices such as []bool skip masks) and matrices.
+type intFact struct{ d dim }
+type vecFact struct{ n dim }
+type matFact struct{ rows, cols dim }
+
+type shapeClient struct {
+	pass     *Pass
+	findings []Finding
+}
+
+func (c *shapeClient) evalExpr(ev *env, e ast.Expr) any {
+	e = ast.Unparen(e)
+	t := c.pass.TypeOf(e)
+	switch {
+	case isTensorMatrix(t):
+		return c.matrixFact(ev, e)
+	case isLengthChecked(t):
+		return c.vectorFact(ev, e)
+	case isIntegerType(t):
+		if d := c.dimOf(ev, e); d.known {
+			return intFact{d}
+		}
+	}
+	return nil
+}
+
+func (c *shapeClient) merge(a, b any) any {
+	if a == nil || b == nil || a == b {
+		if a == b {
+			return a
+		}
+		return nil
+	}
+	switch av := a.(type) {
+	case vecFact:
+		if bv, ok := b.(vecFact); ok {
+			return vecFact{mergeDim(av.n, bv.n)}
+		}
+	case matFact:
+		if bv, ok := b.(matFact); ok {
+			return matFact{mergeDim(av.rows, bv.rows), mergeDim(av.cols, bv.cols)}
+		}
+	case intFact:
+		if bv, ok := b.(intFact); ok {
+			if av.d == bv.d {
+				return av
+			}
+		}
+	}
+	return nil
+}
+
+func (c *shapeClient) scrub(f any, killed ref) any {
+	switch f := f.(type) {
+	case intFact:
+		d := scrubDim(f.d, killed)
+		if !d.known {
+			return nil
+		}
+		return intFact{d}
+	case vecFact:
+		return vecFact{scrubDim(f.n, killed)}
+	case matFact:
+		return matFact{scrubDim(f.rows, killed), scrubDim(f.cols, killed)}
+	}
+	return f
+}
+
+func scrubDim(d dim, killed ref) dim {
+	if !d.known {
+		return d
+	}
+	switch b := d.base.(type) {
+	case types.Object:
+		if killed.obj == b {
+			return dim{}
+		}
+	case string:
+		if killed.obj != nil && canonMentions(b, killed.obj.Name()) {
+			return dim{}
+		}
+		if killed.canon != "" && strings.Contains(b, killed.canon) {
+			return dim{}
+		}
+	}
+	return d
+}
+
+// check verifies every tensor call site in the node against the
+// environment in force there.
+func (c *shapeClient) check(ev *env, n ast.Node) {
+	inspectNoFuncLit(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := c.tensorCallee(call)
+		if name == "" {
+			return true
+		}
+		arg := func(i int) ast.Expr {
+			if i < len(call.Args) {
+				return call.Args[i]
+			}
+			return nil
+		}
+		switch name {
+		case "Gemv", "GemvRows":
+			rows, cols := c.mdims(ev, arg(1))
+			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "m rows", rows)
+			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
+			if name == "GemvRows" {
+				c.require(call, name, "skip length", c.vdim(ev, arg(3)), "m rows", rows)
+			}
+		case "Gemm":
+			dr, dc := c.mdims(ev, arg(0))
+			ar, ac := c.mdims(ev, arg(1))
+			br, bc := c.mdims(ev, arg(2))
+			c.require(call, name, "a cols", ac, "b rows", br)
+			c.require(call, name, "dst rows", dr, "a rows", ar)
+			c.require(call, name, "dst cols", dc, "b cols", bc)
+		case "Add", "Mul":
+			dn, an, bn := c.vdim(ev, arg(0)), c.vdim(ev, arg(1)), c.vdim(ev, arg(2))
+			c.require(call, name, "dst length", dn, "a length", an)
+			c.require(call, name, "a length", an, "b length", bn)
+		case "Axpy":
+			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "x length", c.vdim(ev, arg(2)))
+		case "Dot":
+			c.require(call, name, "a length", c.vdim(ev, arg(0)), "b length", c.vdim(ev, arg(1)))
+		case "SigmoidVec", "HardSigmoidVec", "TanhVec":
+			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "x length", c.vdim(ev, arg(1)))
+		}
+		return true
+	})
+}
+
+func (c *shapeClient) require(call *ast.CallExpr, fname, aWhat string, a dim, bWhat string, b dim) {
+	if !a.conflicts(b) {
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		Analyzer: "shapecheck",
+		Pos:      c.pass.Position(call.Pos()),
+		Message: fmt.Sprintf("tensor.%s shape mismatch: %s is %s but %s is %s",
+			fname, aWhat, a, bWhat, b),
+	})
+}
+
+// tensorCallee returns the bare name of a function from the tensor
+// package (qualified tensor.Gemv or an unqualified call inside the
+// package itself), or "".
+func (c *shapeClient) tensorCallee(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		pn, ok := c.pass.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || !strings.HasSuffix(pn.Imported().Path(), tensorPkgSuffix) {
+			return ""
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		obj := c.pass.Pkg.Info.Uses[fun]
+		if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), tensorPkgSuffix) {
+			return ""
+		}
+		if _, ok := obj.(*types.Func); !ok {
+			return ""
+		}
+		return fun.Name
+	}
+	return ""
+}
+
+// vdim returns the symbolic length of a vector-valued argument.
+func (c *shapeClient) vdim(ev *env, e ast.Expr) dim {
+	if e == nil {
+		return dim{}
+	}
+	if f, ok := ev.eval(e).(vecFact); ok {
+		return f.n
+	}
+	return dim{}
+}
+
+// mdims returns the symbolic shape of a matrix-valued argument.
+func (c *shapeClient) mdims(ev *env, e ast.Expr) (dim, dim) {
+	if e == nil {
+		return dim{}, dim{}
+	}
+	if f, ok := ev.eval(e).(matFact); ok {
+		return f.rows, f.cols
+	}
+	return dim{}, dim{}
+}
+
+// vectorFact derives the length fact for a vector-typed expression that
+// has no environment binding.
+func (c *shapeClient) vectorFact(ev *env, e ast.Expr) any {
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch {
+		case c.tensorCallee(call) == "NewVector" && len(call.Args) == 1:
+			return vecFact{c.dimOf(ev, call.Args[0])}
+		case c.tensorCallee(call) == "AbsRowSums" && len(call.Args) == 1:
+			rows, _ := c.mdims(ev, call.Args[0])
+			return vecFact{rows}
+		case c.isBuiltin(call, "make") && len(call.Args) >= 2:
+			return vecFact{c.dimOf(ev, call.Args[1])}
+		case c.isBuiltin(call, "append"):
+			return nil // growth: length no longer the allocation's
+		}
+		// Methods preserving or deriving length: v.Clone(), m.Row(i).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recvT := c.pass.TypeOf(sel.X)
+			switch {
+			case sel.Sel.Name == "Clone" && isLengthChecked(recvT):
+				if f, ok := ev.eval(sel.X).(vecFact); ok {
+					return f
+				}
+			case sel.Sel.Name == "Row" && isTensorMatrix(recvT):
+				_, cols := c.mdims(ev, sel.X)
+				return vecFact{cols}
+			}
+		}
+		return nil
+	}
+	// A canonical path (parameter, field) names its own length: two
+	// uses of the same path agree, different paths stay incomparable.
+	if cn, _ := ev.canonOf(e); cn != "" {
+		return vecFact{symDim("len(" + cn + ")")}
+	}
+	return nil
+}
+
+// matrixFact derives the shape fact for a matrix-typed expression that
+// has no environment binding.
+func (c *shapeClient) matrixFact(ev *env, e ast.Expr) any {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if c.tensorCallee(call) == "NewMatrix" && len(call.Args) == 2 {
+			return matFact{c.dimOf(ev, call.Args[0]), c.dimOf(ev, call.Args[1])}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Clone" && isTensorMatrix(c.pass.TypeOf(sel.X)) {
+				if f, ok := ev.eval(sel.X).(matFact); ok {
+					return f
+				}
+			}
+		}
+		return nil
+	}
+	if cn, _ := ev.canonOf(e); cn != "" {
+		return matFact{symDim("rows(" + cn + ")"), symDim("cols(" + cn + ")")}
+	}
+	return nil
+}
+
+// dimOf evaluates an integer expression on the dimension lattice.
+func (c *shapeClient) dimOf(ev *env, e ast.Expr) dim {
+	e = ast.Unparen(e)
+	// Constant-folded expressions (literals, named constants, products
+	// of constants) come straight from the type checker.
+	if tv, ok := c.pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return litDim(v)
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		if f, bound := ev.lookup(e); bound {
+			if i, ok := f.(intFact); ok {
+				return i.d
+			}
+			return dim{}
+		}
+		// m.Rows / m.Cols read the matrix fact, or derive a spelling
+		// that matches matrixFact's fallback for the same path.
+		if sel, ok := e.(*ast.SelectorExpr); ok && isTensorMatrix(c.pass.TypeOf(sel.X)) {
+			if sel.Sel.Name == "Rows" || sel.Sel.Name == "Cols" {
+				rows, cols := c.mdims(ev, sel.X)
+				if sel.Sel.Name == "Rows" {
+					return rows
+				}
+				return cols
+			}
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := ev.w.objectOf(id); obj != nil {
+				return symDim(obj)
+			}
+			return dim{}
+		}
+		if cn, _ := ev.canonOf(e); cn != "" {
+			return symDim(cn)
+		}
+	case *ast.CallExpr:
+		if c.isBuiltin(e, "len") && len(e.Args) == 1 {
+			if f, ok := ev.eval(e.Args[0]).(vecFact); ok {
+				return f.n
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.MUL {
+			x, y := c.dimOf(ev, e.X), c.dimOf(ev, e.Y)
+			if x.known && x.base == nil {
+				return y.scaled(x.coef)
+			}
+			if y.known && y.base == nil {
+				return x.scaled(y.coef)
+			}
+		}
+	}
+	return dim{}
+}
+
+func (c *shapeClient) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := c.pass.Pkg.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin || obj == nil
+}
+
+// isTensorMatrix reports whether t is (a pointer to) the tensor.Matrix
+// struct, matched structurally by package-path suffix and name.
+func isTensorMatrix(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Matrix" && strings.HasSuffix(n.Obj().Pkg().Path(), tensorPkgSuffix)
+}
+
+// isLengthChecked reports whether t participates in the length lattice:
+// tensor.Vector and any slice of basic elements (float32 rows, []bool
+// DRS skip masks).
+func isLengthChecked(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, basic := s.Elem().Underlying().(*types.Basic)
+	return basic
+}
+
+// isIntegerType reports whether t is an integer kind (dimension
+// variables: h, e, t, rows).
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -37,7 +37,7 @@ const threshConstHome = "internal/thresholds"
 var threshIdent = regexp.MustCompile(`(?i)alpha|thresh`)
 
 func runThreshConst(pass *Pass) []Finding {
-	if strings.HasSuffix(pass.Pkg.ImportPath, threshConstHome) {
+	if strings.HasSuffix(pass.Pkg.ScopePath(), threshConstHome) {
 		return nil
 	}
 	var out []Finding

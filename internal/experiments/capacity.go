@@ -64,8 +64,8 @@ func (s *Suite) Fig18() *report.Table {
 			fmt.Sprintf("%.2f", res.Scores[userstudy.SchemeBPA]),
 			fmt.Sprintf("%.2f", res.Scores[userstudy.SchemeUO]),
 			fmt.Sprintf("%.1f", res.ChosenUOSet))
-		for k, v := range res.Scores {
-			totals[k] += v
+		for _, scheme := range userstudy.Schemes() {
+			totals[scheme] += res.Scores[scheme]
 		}
 	}
 	n := float64(len(BenchmarkNames()))

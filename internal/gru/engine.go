@@ -158,9 +158,11 @@ func (e *Engine) referenceMargin(gen *rng.RNG, h, length int) float64 {
 	for _, xs := range probes[:8] {
 		base := e.Net.Run(xs, Baseline())
 		approx := e.Net.Run(xs, opt)
-		var d float64
+		// The max-|diff| scan stays in float32 — the pipeline's native
+		// precision — and widens only at the stats boundary.
+		var d float32
 		for j := range base {
-			v := float64(base[j] - approx[j])
+			v := base[j] - approx[j]
 			if v < 0 {
 				v = -v
 			}
@@ -168,7 +170,7 @@ func (e *Engine) referenceMargin(gen *rng.RNG, h, length int) float64 {
 				d = v
 			}
 		}
-		dists = append(dists, d)
+		dists = append(dists, float64(d))
 	}
 	noise := stats.Median(dists)
 	minMargin := 1.7 * noise

@@ -1,3 +1,4 @@
+//lint:file-ignore globalrand testing/quick's Values hooks take *math/rand.Rand by signature; all draws actually derive from the seeded internal/rng source
 package intercell
 
 import (
