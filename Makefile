@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-json fuzz-smoke check
+.PHONY: build test race vet vet386 lint lint-json fuzz-smoke serve-race check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# 32-bit vet pass: catches int-overflow bugs (e.g. untyped constants
+# that only fit in 64-bit int) that amd64-only vet misses.
+vet386:
+	GOARCH=386 $(GO) vet ./...
 
 lint:
 	$(GO) run ./cmd/mobilstm-lint ./...
@@ -36,6 +41,12 @@ lint-json:
 # addition to `check`.
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzCacheAccess -fuzztime=10s ./internal/gpu/
+
+# Focused race gate for the concurrent serving path: the serve package
+# plus the shared-engine regression tests in core. Already covered by
+# `make race`, kept separate so the serving loop can be hammered alone.
+serve-race:
+	$(GO) test -race -count=2 ./internal/serve/... ./internal/core/...
 
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(GO) run ./cmd/mobilstm-lint ./...

@@ -1,0 +1,125 @@
+// Command mobilstm-serve runs the concurrent serving loop against a
+// synthetic open-loop workload: requests for several benchmarks arrive
+// at exponential inter-arrival times (one independent Poisson stream
+// per benchmark — the interactive-IPA regime of §II-C, where requests
+// do not wait for each other), flow through the batching window and
+// the worker pool, and the run ends with a per-benchmark table of
+// throughput, p50/p95 latency, batch occupancy, and accuracy at the
+// serving operating point.
+//
+// Accuracy-bearing evaluation defaults to the quick profile; set
+// MOBILSTM_FULL=1 for the exact Table II shapes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mobilstm/internal/rng"
+	"mobilstm/internal/serve"
+)
+
+func main() {
+	benches := flag.String("benches", "MR,BABI", "comma-separated benchmarks to serve")
+	requests := flag.Int("requests", 40, "open-loop requests per benchmark")
+	interMs := flag.Float64("interarrival", 3, "mean inter-arrival time per stream, ms")
+	workers := flag.Int("workers", 0, "worker-pool size (default: serve.DefaultConfig)")
+	window := flag.Duration("window", -1, "batching window (default: serve.DefaultConfig)")
+	maxBatch := flag.Int("maxbatch", 0, "batch-size cap (default: serve.DefaultConfig)")
+	set := flag.Int("set", serve.AutoSet, "threshold set (default: per-benchmark AO point)")
+	seed := flag.Uint64("seed", 1, "arrival-process seed")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.Set = *set
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *window >= 0 {
+		cfg.BatchWindow = *window
+	}
+	if *maxBatch > 0 {
+		cfg.MaxBatch = *maxBatch
+	}
+	if os.Getenv("MOBILSTM_FULL") == "" {
+		// Quick profile: capped shapes, full pipeline.
+		cfg.Profile.Name = "quick"
+		cfg.Profile.HiddenCap = 128
+		cfg.Profile.LengthCap = 32
+		cfg.Profile.AccSamples = 30
+		cfg.Profile.PredictorSamples = 5
+		cfg.Profile.StatSamples = 2
+	}
+
+	names := strings.Split(*benches, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+
+	s := serve.New(cfg)
+	for _, bench := range names {
+		fmt.Printf("warming %s (engine build + threshold calibration)...\n", bench)
+		if err := s.Warm(bench); err != nil {
+			fmt.Fprintf(os.Stderr, "warm %s: %v\n", bench, err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	fmt.Printf("serving %s: %d requests/stream, %.1f ms mean inter-arrival, "+
+		"%d workers, window %v, max batch %d\n\n",
+		strings.Join(names, "+"), *requests, *interMs, cfg.Workers, cfg.BatchWindow, cfg.MaxBatch)
+
+	// One open-loop Poisson stream per benchmark: the next request's
+	// arrival never waits for the previous response (each Submit blocks
+	// in its own goroutine, collected by the WaitGroup).
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	errCount := 0
+	for si, bench := range names {
+		wg.Add(1)
+		go func(bench string, r *rng.RNG) {
+			defer wg.Done()
+			for i := 0; i < *requests; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := s.Submit(context.Background(), serve.Request{Bench: bench}); err != nil {
+						errMu.Lock()
+						if errCount == 0 {
+							fmt.Fprintf(os.Stderr, "%s: %v\n", bench, err)
+						}
+						errCount++
+						errMu.Unlock()
+					}
+				}()
+				// Exponential inter-arrival via inverse transform.
+				wait := -*interMs * logUnit(r)
+				time.Sleep(time.Duration(wait * float64(time.Millisecond)))
+			}
+		}(bench, rng.New(*seed+uint64(si)*0x9e37))
+	}
+	wg.Wait()
+	s.Close()
+
+	fmt.Println(s.Stats().Report())
+	fmt.Printf("total wall time %.1fs, %d submit errors\n",
+		time.Since(start).Seconds(), errCount)
+	if errCount > 0 {
+		os.Exit(1)
+	}
+}
+
+// logUnit returns ln(u) for u uniform in (0, 1].
+func logUnit(r *rng.RNG) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = 1
+	}
+	return math.Log(u)
+}

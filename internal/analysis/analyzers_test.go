@@ -300,3 +300,50 @@ const AlphaIntraMax = 0.45
 		t.Fatalf("internal/thresholds is the designated home: %v", got)
 	}
 }
+
+func TestLockLintSanctionsDaemonRegistry(t *testing.T) {
+	// The serve.Daemons pattern: the launching function registers the
+	// goroutine in a WaitGroup at creation time; the Wait lives with the
+	// owner in another function. No finding, no lint:ignore needed.
+	src := `package ok
+
+import "sync"
+
+type daemons struct {
+	wg sync.WaitGroup
+}
+
+func (d *daemons) launch(fn func()) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		fn()
+	}()
+}
+
+func (d *daemons) collect() {
+	d.wg.Wait()
+}
+`
+	if got := runFixture(t, Lookup("locklint"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {
+		t.Fatalf("WaitGroup-registered daemon launch must pass: %v", got)
+	}
+}
+
+func TestLockLintStillFlagsUnregisteredDaemon(t *testing.T) {
+	// Add on something that is not a sync.WaitGroup does not sanction
+	// the launch: the orphan rule must still fire.
+	src := `package bad
+
+type counter struct{ n int }
+
+func (c *counter) Add(k int) { c.n += k }
+
+func fire(c *counter) {
+	c.Add(1)
+	go func() {}()
+}
+`
+	got := runFixture(t, Lookup("locklint"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "locklint", 9)
+}

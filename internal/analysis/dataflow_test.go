@@ -52,6 +52,23 @@ func SigmoidVec(dst, x Vector)                                          {}
 func TanhVec(dst, x Vector)                                             {}
 `
 
+// kernelsStub is a miniature mobilstm/internal/kernels: the Builder
+// cost constructors whose dimension contracts shapecheck enforces.
+const kernelsStub = `package kernels
+
+type KernelSpec struct{}
+
+type DRSMode int
+
+type Builder struct{}
+
+func (b *Builder) DRS(h, trivial int) KernelSpec                         { return KernelSpec{} }
+func (b *Builder) SgemvUfic(h, skipRows int, mode DRSMode) KernelSpec    { return KernelSpec{} }
+func (b *Builder) SgemmTissueUfic(h, t, skipRows int) (KernelSpec, bool) { return KernelSpec{}, true }
+func (b *Builder) SgemmWx(h, e, n int) KernelSpec                        { return KernelSpec{} }
+func (b *Builder) RequestBatch(h, length, layers, batch int) []KernelSpec { return nil }
+`
+
 // reportStub is a miniature mobilstm/internal/report for maporder
 // fixtures.
 const reportStub = `package report
@@ -77,8 +94,9 @@ func newStubImporter(fset *token.FileSet) *stubImporter {
 		fset: fset,
 		std:  importer.ForCompiler(fset, "source", nil),
 		srcs: map[string]string{
-			"mobilstm/internal/tensor": tensorStub,
-			"mobilstm/internal/report": reportStub,
+			"mobilstm/internal/tensor":  tensorStub,
+			"mobilstm/internal/report":  reportStub,
+			"mobilstm/internal/kernels": kernelsStub,
 		},
 		pkgs: map[string]*types.Package{},
 	}
@@ -627,5 +645,59 @@ func TestRepoLintClean(t *testing.T) {
 	}
 	if len(findings) > 0 {
 		t.Fatalf("repo is not lint-clean: %d finding(s); fix them or add //lint:ignore with a reason", len(findings))
+	}
+}
+
+// --- shapecheck: kernel contract table --------------------------------
+
+func TestShapeCheckKernelContracts(t *testing.T) {
+	// Definite violations of the Builder contract table: a DRS trivial
+	// count above h, a skipRows above the 3h united-matrix bound, and
+	// literal shape arguments below one.
+	src := `package bad
+
+import "mobilstm/internal/kernels"
+
+func f(b *kernels.Builder, h int) {
+	b.DRS(h, 2*h)
+	b.SgemvUfic(h, 4*h, 0)
+	b.SgemmTissueUfic(h, 4, 3*h)
+	b.RequestBatch(h, 16, 2, 0)
+	b.SgemmWx(0, h, 16)
+	b.DRS(h, -1)
+}
+`
+	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "shapecheck", 6, 7, 9, 10, 11)
+	for _, want := range []string{"kernels.DRS", "trivial", "2*h", "1*(h)"} {
+		if !strings.Contains(got[0].Message, want) {
+			t.Errorf("message should state the contract (%q): %s", want, got[0].Message)
+		}
+	}
+	if !strings.Contains(got[2].Message, "batch = 0") {
+		t.Errorf("literal minimum violation should name the argument: %s", got[2].Message)
+	}
+}
+
+func TestShapeCheckKernelContractsSilentWhenLegal(t *testing.T) {
+	// Legal calls and dataflow-unknown arguments (the sched call sites,
+	// where skip counts come from measured statistics) stay silent.
+	src := `package ok
+
+import "mobilstm/internal/kernels"
+
+func measured() int { return 3 }
+
+func f(b *kernels.Builder, h int) {
+	b.DRS(h, h)
+	b.SgemvUfic(h, 3*h, 0)
+	b.SgemvUfic(h, measured(), 0)
+	b.SgemmTissueUfic(h, 4, measured())
+	b.RequestBatch(h, 16, 2, 4)
+	b.SgemmWx(h, h, 16)
+}
+`
+	if got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {
+		t.Fatalf("legal and unknown kernel dims must pass: %v", got)
 	}
 }

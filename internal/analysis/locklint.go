@@ -21,10 +21,12 @@ import (
 //
 //  2. goroutines launched in a function that contains no collection
 //     point at all — no .Wait() call, no channel receive, no range over
-//     a channel, no select. Fire-and-forget goroutines in the simulator
-//     are bugs: every run must be a complete, deterministic unit of
-//     work. Intentional daemons (a future serving loop) carry a
-//     lint:ignore with the reason.
+//     a channel, no select, and no registration in a sync.WaitGroup
+//     (an in-function `wg.Add(...)` before the launch — the daemon
+//     registry pattern of serve.Daemons.Go, where the launch is
+//     accounted at creation time and the owner Waits for the fleet at
+//     shutdown). Fire-and-forget goroutines in the simulator are bugs:
+//     every run must be a complete, deterministic unit of work.
 func init() {
 	Register(&Analyzer{
 		Name: "locklint",
@@ -125,6 +127,22 @@ func isConversion(pass *Pass, call *ast.CallExpr) bool {
 	return ok && tv.IsType()
 }
 
+// isWaitGroup reports whether t is sync.WaitGroup (possibly behind a
+// pointer) — the receiver type whose Add call registers a goroutine in
+// the daemon pattern.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
 // lockBearing reports whether t is (or transitively contains, by value)
 // one of the sync primitives that must not be copied.
 func lockBearing(t types.Type) bool {
@@ -160,7 +178,12 @@ func lockBearingSeen(t types.Type, seen map[types.Type]bool) bool {
 }
 
 // orphanGoroutines reports go statements inside functions that contain
-// no collection point whatsoever.
+// no collection point whatsoever. A collection point is a Wait call, a
+// channel receive, a range over a channel, a select — or a
+// sync.WaitGroup registration (`wg.Add(...)`): the sanctioned daemon
+// registry pattern, where the launching function accounts the goroutine
+// in a WaitGroup at creation time and a separate owner collects the
+// whole fleet with Wait at shutdown (serve.Daemons.Go).
 func orphanGoroutines(pass *Pass, file *ast.File) []Finding {
 	var out []Finding
 	for _, decl := range file.Decls {
@@ -187,8 +210,15 @@ func orphanGoroutines(pass *Pass, file *ast.File) []Finding {
 					}
 				}
 			case *ast.CallExpr:
-				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
-					collects = true
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Wait":
+						collects = true
+					case "Add":
+						if isWaitGroup(pass.TypeOf(sel.X)) {
+							collects = true
+						}
+					}
 				}
 			}
 			return true

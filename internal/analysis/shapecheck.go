@@ -46,6 +46,48 @@ func init() {
 // so fixtures under any module path participate.
 const tensorPkgSuffix = "internal/tensor"
 
+// kernelsPkgSuffix identifies the kernels package the same way.
+const kernelsPkgSuffix = "internal/kernels"
+
+// kernelArg is one argument's contract in a kernels.Builder cost
+// constructor: a literal below minLit is a definite violation, and so is
+// a coefficient more than maxScale times the base argument's (compared
+// only when both dimensions share a symbolic base — the same
+// definite-only discipline as the tensor checks).
+type kernelArg struct {
+	index   int
+	name    string
+	minLit  int64
+	bounded bool
+	baseArg int
+	scale   int64
+}
+
+// kernelContracts is the dimension contract table of the Builder cost
+// constructors (the serving path's RequestBatch included): the legal
+// ranges the kernels package enforces with Panicf at runtime, checked
+// symbolically here so a bad call site fails in lint, not mid-serve.
+var kernelContracts = map[string][]kernelArg{
+	// DRS skip counts: trivial in [0, h].
+	"DRS": {{index: 1, name: "trivial", bounded: true, baseArg: 0, scale: 1}},
+	// United-matrix row skips: skipRows in [0, 3h] (three skippable
+	// gates of the 4h united matrix).
+	"SgemvUfic":       {{index: 1, name: "skipRows", bounded: true, baseArg: 0, scale: 3}},
+	"SgemmTissueUfic": {{index: 2, name: "skipRows", bounded: true, baseArg: 0, scale: 3}},
+	// Shape arguments that must be at least one.
+	"SgemmWx": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "e", minLit: 1},
+		{index: 2, name: "n", minLit: 1},
+	},
+	"RequestBatch": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "length", minLit: 1},
+		{index: 2, name: "layers", minLit: 1},
+		{index: 3, name: "batch", minLit: 1},
+	},
+}
+
 func runShapeCheck(pass *Pass) []Finding {
 	if pass.Pkg.Info == nil {
 		return nil
@@ -208,6 +250,7 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 		}
 		name := c.tensorCallee(call)
 		if name == "" {
+			c.checkKernelCall(ev, call)
 			return true
 		}
 		arg := func(i int) ast.Expr {
@@ -256,6 +299,75 @@ func (c *shapeClient) require(call *ast.CallExpr, fname, aWhat string, a dim, bW
 		Message: fmt.Sprintf("tensor.%s shape mismatch: %s is %s but %s is %s",
 			fname, aWhat, a, bWhat, b),
 	})
+}
+
+// checkKernelCall verifies a kernels.Builder cost-constructor call
+// against the contract table: definite literal violations and same-base
+// coefficient overruns only, so dataflow-unknown skip counts (the
+// sched call sites, where trivial rows come from measured statistics)
+// stay silent.
+func (c *shapeClient) checkKernelCall(ev *env, call *ast.CallExpr) {
+	name := c.kernelCallee(call)
+	contracts, ok := kernelContracts[name]
+	if !ok {
+		return
+	}
+	report := func(msg string) {
+		c.findings = append(c.findings, Finding{
+			Analyzer: "shapecheck",
+			Pos:      c.pass.Position(call.Pos()),
+			Message:  fmt.Sprintf("kernels.%s: %s", name, msg),
+		})
+	}
+	for _, ct := range contracts {
+		if ct.index >= len(call.Args) {
+			continue
+		}
+		d := c.dimOf(ev, call.Args[ct.index])
+		if !d.known {
+			continue
+		}
+		if d.base == nil && d.coef < ct.minLit {
+			report(fmt.Sprintf("%s = %s is below the legal minimum %d", ct.name, d, ct.minLit))
+			continue
+		}
+		if !ct.bounded || ct.baseArg >= len(call.Args) {
+			continue
+		}
+		base := c.dimOf(ev, call.Args[ct.baseArg])
+		if !base.known || base.base != d.base {
+			continue
+		}
+		if d.coef > ct.scale*base.coef {
+			report(fmt.Sprintf("%s = %s exceeds the contract bound %d*(%s)",
+				ct.name, d, ct.scale, base))
+		}
+	}
+}
+
+// kernelCallee returns the bare method name of a kernels.Builder cost
+// constructor call (receiver typed *kernels.Builder, matched by
+// package-path suffix so fixtures participate), or "".
+func (c *shapeClient) kernelCallee(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	t := c.pass.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	if n.Obj().Name() != "Builder" || !strings.HasSuffix(n.Obj().Pkg().Path(), kernelsPkgSuffix) {
+		return ""
+	}
+	return sel.Sel.Name
 }
 
 // tensorCallee returns the bare name of a function from the tensor

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mobilstm/internal/accuracy"
 	"mobilstm/internal/energy"
@@ -53,8 +54,14 @@ type Engine struct {
 	relDist []float64
 	qMax    float64
 
-	sim      *gpu.Simulator
-	baseline *Outcome // cached baseline evaluation
+	sim *gpu.Simulator
+
+	// baseline is the cached unoptimized evaluation. The sync.Once guard
+	// makes the lazy fill safe when one engine is shared by concurrent
+	// serve workers; everything else on the engine is immutable after
+	// NewEngine.
+	baselineOnce sync.Once
+	baseline     *Outcome
 }
 
 // NewEngine builds the benchmark instance and performs the offline
@@ -90,11 +97,11 @@ func (e *Engine) calibrateAlphaInter() float64 {
 		rate := float64(q) / 100
 		if tissueCountAtRate(e.B.Length, rate, e.MTS) <= nmin {
 			e.qMax = rate
-			idx := int(rate*float64(len(rels))) - 1
-			if idx < 0 {
-				idx = 0
-			}
-			return rels[idx] * thresholds.TieBreakUp // break ties upward
+			// The repo-wide quantile convention sorted[int(q*(n-1))]
+			// (stats.Quantile), the same index rule Thresholds() walks —
+			// an ad-hoc int(rate*n)-1 here used to disagree by one index
+			// for some (rate, n), making set 10 miss the calibrated limit.
+			return stats.Quantile(rels, rate) * thresholds.TieBreakUp // break ties upward
 		}
 	}
 	e.qMax = 1
@@ -238,18 +245,19 @@ type Outcome struct {
 }
 
 // Baseline evaluates (and caches) the unoptimized Algorithm 1 flow.
+// Safe for concurrent use: serve workers share one engine per benchmark
+// and all race to fill the cache on their first request.
 func (e *Engine) Baseline() *Outcome {
-	if e.baseline != nil {
-		return e.baseline
-	}
-	res := e.sim.Run(sched.Kernels(e.plan(sched.Baseline, nil, 0)))
-	e.baseline = &Outcome{
-		Mode:     sched.Baseline,
-		Result:   res,
-		Energy:   energy.Of(e.EnergyP, res, false),
-		Accuracy: 1,
-		Speedup:  1,
-	}
+	e.baselineOnce.Do(func() {
+		res := e.sim.Run(sched.Kernels(e.plan(sched.Baseline, nil, 0)))
+		e.baseline = &Outcome{
+			Mode:     sched.Baseline,
+			Result:   res,
+			Energy:   energy.Of(e.EnergyP, res, false),
+			Accuracy: 1,
+			Speedup:  1,
+		}
+	})
 	return e.baseline
 }
 
@@ -285,6 +293,23 @@ func (e *Engine) EvaluateSet(mode sched.Mode, set int) *Outcome {
 		return e.Baseline()
 	}
 	return e.Evaluate(mode, ai, aa)
+}
+
+// EvaluateSetE is the serving-path entry point of EvaluateSet: any
+// tensor.Panicf invariant violation raised during the evaluation comes
+// back as an error instead of crashing the worker's process.
+func (e *Engine) EvaluateSetE(mode sched.Mode, set int) (out *Outcome, err error) {
+	defer tensor.Guard(&err)
+	return e.EvaluateSet(mode, set), nil
+}
+
+// RunOptionsFor exposes the numeric execution options of one (mode,
+// threshold set) operating point, so external request loops (the serve
+// worker pool) can run per-request inference with the engine's
+// calibration artifacts without re-deriving MTS and predictors.
+func (e *Engine) RunOptionsFor(mode sched.Mode, set int) lstm.RunOptions {
+	ai, aa := e.Thresholds(set)
+	return e.runOptions(mode, ai, aa)
 }
 
 // EvaluateZeroPrune evaluates the element-pruning baseline [31] at the

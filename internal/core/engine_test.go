@@ -175,3 +175,54 @@ func TestAverageResults(t *testing.T) {
 		t.Fatal("single replica should pass through")
 	}
 }
+
+// TestBaselineConcurrent is the -race regression test for the lazy
+// baseline cache: before the sync.Once guard, concurrent Baseline()
+// calls on a shared engine raced on the cache field (the exact bug the
+// serving loop's shared-engine registry would have hit). A fresh
+// engine is built here so the cache fill itself runs under contention.
+func TestBaselineConcurrent(t *testing.T) {
+	b, _ := model.ByName("MR")
+	e := NewEngine(b, tinyProfile(), gpu.TegraX1())
+	var wg sync.WaitGroup
+	results := make([]*Outcome, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				results[i] = e.Baseline()
+			} else {
+				out, err := e.EvaluateSetE(sched.Combined, 4)
+				if err != nil {
+					t.Errorf("EvaluateSetE: %v", err)
+					return
+				}
+				if out.Speedup <= 0 {
+					t.Errorf("speedup %v", out.Speedup)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < len(results); i += 2 {
+		if results[i] == nil || results[i] != results[0] {
+			t.Fatalf("Baseline() not a shared cached outcome at %d", i)
+		}
+	}
+}
+
+// TestEvaluateSetE: the error-returning wrapper is identical to
+// EvaluateSet on the happy path (the error leg is pinned down by the
+// lstm RunE tests, where Panicf validation genuinely fires).
+func TestEvaluateSetE(t *testing.T) {
+	e := testEngine(t)
+	out, err := e.EvaluateSetE(sched.Combined, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.EvaluateSet(sched.Combined, 6)
+	if out.Speedup != want.Speedup || out.Accuracy != want.Accuracy {
+		t.Fatalf("EvaluateSetE %+v != EvaluateSet %+v", out, want)
+	}
+}

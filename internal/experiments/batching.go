@@ -5,10 +5,8 @@ import (
 
 	"mobilstm/internal/gpu"
 	"mobilstm/internal/kernels"
-	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
-	"mobilstm/internal/tensor"
 )
 
 // RequestBatching contrasts the two ways to reuse the united weight
@@ -19,10 +17,7 @@ import (
 // batch-B converges to the tissue flow's, but its end-to-end latency
 // includes the queueing wait.
 func (s *Suite) RequestBatching(benchName string, interArrivalMs float64) *report.Table {
-	b, ok := model.ByName(benchName)
-	if !ok {
-		tensor.Panicf("experiments: unknown benchmark %q", benchName)
-	}
+	b := mustLookup(benchName)
 	cfg := s.cfg.GPU
 	sim := gpu.NewSimulator(cfg)
 	kb := kernels.NewBuilder(cfg)
@@ -32,18 +27,11 @@ func (s *Suite) RequestBatching(benchName string, interArrivalMs float64) *repor
 			benchName, interArrivalMs),
 		"Execution", "GPU ms/request", "wait ms", "response ms", "accuracy")
 
-	// Batch-B baseline: per cell one Sgemm(U, H_B) over the B requests'
-	// vectors — same kernel shape as a tissue of size B, but the batch
-	// dimension is requests, so the math is exact.
+	// Batch-B baseline: kernels.RequestBatch — one Sgemm(U, H_B) per
+	// cell over the B requests' vectors. The serve worker pool charges
+	// batches with the same model.
 	batchGPU := func(batch int) float64 {
-		var ks []gpu.KernelSpec
-		for layer := 0; layer < b.Layers; layer++ {
-			ks = append(ks, kb.SgemmWx(b.Hidden, b.Hidden, b.Length*batch))
-			for c := 0; c < b.Length; c++ {
-				k, _ := kb.SgemmTissue(b.Hidden, batch)
-				ks = append(ks, k, kb.LstmEW(b.Hidden, batch))
-			}
-		}
+		ks := kb.RequestBatch(b.Hidden, b.Length, b.Layers, batch)
 		return sim.Run(ks).Seconds * 1e3 / float64(batch)
 	}
 

@@ -6,10 +6,8 @@ import (
 	"mobilstm/internal/energy"
 	"mobilstm/internal/gpu"
 	"mobilstm/internal/intercell"
-	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
-	"mobilstm/internal/tensor"
 )
 
 // CrossPlatform evaluates the framework across GPU generations (§IV-C:
@@ -22,10 +20,7 @@ func (s *Suite) CrossPlatform(benchName string) *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("Cross-platform portability (%s, combined at fixed thresholds)", benchName),
 		"Platform", "MTS", "baseline ms", "combined ms", "speedup", "energy saving")
-	b, ok := model.ByName(benchName)
-	if !ok {
-		tensor.Panicf("experiments: unknown benchmark %q", benchName)
-	}
+	b := mustLookup(benchName)
 	// Structural statistics are a property of the model and thresholds,
 	// not the platform: measure them once on the suite's engine.
 	e := s.Engine(benchName)

@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"mobilstm/internal/gru"
-	"mobilstm/internal/model"
 	"mobilstm/internal/report"
 	"mobilstm/internal/sched"
-	"mobilstm/internal/tensor"
 )
 
 // ServerContrast reproduces the §II-C observation that motivates the
@@ -17,10 +15,7 @@ import (
 // matrix every cell. The mobile optimizations close part of that gap
 // on-device — without shipping the user's voice to the cloud.
 func (s *Suite) ServerContrast(benchName string) *report.Table {
-	b, ok := model.ByName(benchName)
-	if !ok {
-		tensor.Panicf("experiments: unknown benchmark %q", benchName)
-	}
+	b := mustLookup(benchName)
 	t := report.NewTable(
 		fmt.Sprintf("§II-C: server wavefront vs mobile execution (%s)", benchName),
 		"Execution", "latency ms", "vs mobile baseline")

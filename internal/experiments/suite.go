@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"mobilstm/internal/core"
@@ -55,6 +57,30 @@ func NewSuite(cfg Config) *Suite {
 	}
 }
 
+// Lookup resolves a zoo benchmark by name, reporting an unknown name as
+// an error that lists the valid ones. It is the single lookup used by
+// every experiment entry point — and by the serve layer, whose workers
+// must reject bad request names without panicking.
+func Lookup(name string) (model.Benchmark, error) {
+	b, ok := model.ByName(name)
+	if !ok {
+		return model.Benchmark{}, fmt.Errorf(
+			"experiments: unknown benchmark %q (have %s)",
+			name, strings.Join(BenchmarkNames(), ", "))
+	}
+	return b, nil
+}
+
+// mustLookup is Lookup for the panic-world experiment methods, whose
+// callers pass compile-time benchmark names.
+func mustLookup(name string) model.Benchmark {
+	b, err := Lookup(name)
+	if err != nil {
+		tensor.Panicf("%v", err)
+	}
+	return b
+}
+
 // Engine returns (building and caching on first use) the engine for a zoo
 // benchmark.
 func (s *Suite) Engine(name string) *core.Engine {
@@ -64,10 +90,7 @@ func (s *Suite) Engine(name string) *core.Engine {
 	if ok {
 		return e
 	}
-	b, ok := model.ByName(name)
-	if !ok {
-		tensor.Panicf("experiments: unknown benchmark %q", name)
-	}
+	b := mustLookup(name)
 	e = core.NewEngine(b, s.cfg.Profile, s.cfg.GPU)
 	e.EnergyP = s.cfg.Energy
 	s.mu.Lock()

@@ -249,7 +249,7 @@ func Simulate(p Params, wl Workload) Result {
 // earliestWakeup returns the soonest cycle at which any warp can make
 // progress, or cycle+1 if someone is ready now.
 func earliestWakeup(resident [][]*warp, cycle int) int {
-	earliest := 1 << 62
+	earliest := int(^uint(0) >> 1) // max int, portable to 32-bit targets
 	anyReady := false
 	anyWarp := false
 	for _, ws := range resident {

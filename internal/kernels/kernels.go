@@ -342,6 +342,25 @@ func (b *Builder) PrunedSgemv(h int, density float64) gpu.KernelSpec {
 	}
 }
 
+// RequestBatch is the kernel sequence of one exact batch-B inference:
+// B concurrent same-shape requests advance in lockstep, so every cell
+// runs one Sgemm(U, H_B) over the B requests' hidden vectors — the same
+// kernel shape as a tissue of size B, but the batch dimension is
+// requests, so the math is exact (§II-C's server-style weight reuse).
+// The caller charges the queueing wait separately: the last request of
+// a batch pays for the first to arrive.
+func (b *Builder) RequestBatch(h, length, layers, batch int) []gpu.KernelSpec {
+	var ks []gpu.KernelSpec
+	for layer := 0; layer < layers; layer++ {
+		ks = append(ks, b.SgemmWx(h, h, length*batch))
+		for c := 0; c < length; c++ {
+			k, _ := b.SgemmTissue(h, batch)
+			ks = append(ks, k, b.LstmEW(h, batch))
+		}
+	}
+	return ks
+}
+
 // Relevance is the Algorithm 2 breakpoint-search work for one layer: the
 // per-cell range arithmetic over all n cells. The per-row L1 norms D of
 // the united U are input-independent and computed once per application

@@ -182,3 +182,61 @@ func TestInterBreaksReduceCoupling(t *testing.T) {
 		t.Fatalf("fully divided layer still couples cells: %v", d)
 	}
 }
+
+// TestRunEErrors: the serving-path wrappers convert every Panicf
+// validation (empty sequence, missing MTS, predictor mismatch) into an
+// error, and the happy path matches Run exactly.
+func TestRunEErrors(t *testing.T) {
+	n := testNet(t, 8, 8, 2, 3, 31)
+	xs := testSeqs(rng.New(32), 8, 6, 1)[0]
+
+	cases := []struct {
+		name string
+		xs   []tensor.Vector
+		opt  RunOptions
+	}{
+		{"empty sequence", nil, Baseline()},
+		{"inter without MTS", xs, RunOptions{Inter: true, Predictors: zeroPredictors(n)}},
+		{"predictor mismatch", xs, RunOptions{Inter: true, MTS: 4,
+			Predictors: zeroPredictors(n)[:1]}},
+	}
+	for _, c := range cases {
+		if _, err := n.RunE(c.xs, c.opt); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+		if _, err := n.ClassifyE(c.xs, c.opt); err == nil {
+			t.Errorf("%s: ClassifyE no error", c.name)
+		}
+	}
+
+	logits, err := n.RunE(xs, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(logits, n.Run(xs, Baseline())); d != 0 {
+		t.Fatalf("RunE differs from Run by %v", d)
+	}
+	class, err := n.ClassifyE(xs, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != n.Classify(xs, Baseline()) {
+		t.Fatal("ClassifyE differs from Classify")
+	}
+}
+
+// TestGuardPassesForeignPanics: tensor.Guard only converts the typed
+// Panicf violation; any other panic keeps propagating.
+func TestGuardPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed by Guard")
+		}
+	}()
+	func() (err error) {
+		defer tensor.Guard(&err)
+		var m map[int]int
+		m[0] = 1 // runtime panic, not a Panicf violation
+		return nil
+	}()
+}

@@ -1,0 +1,522 @@
+// Package serve is the concurrent inference front-end over the
+// simulator: the production-shaped serving loop the ROADMAP's north
+// star asks for, built so the paper's §II-C trade-off can be exercised
+// as a running system rather than a one-shot table.
+//
+// A Server owns a registry of per-benchmark core.Engines (lazily built
+// on the first request, then shared by every worker), a bounded request
+// queue, and a batching window: requests for the same benchmark that
+// arrive within Config.BatchWindow of each other execute as one exact
+// batch-B GPU launch sequence (kernels.RequestBatch — the §II-C
+// server-style weight reuse), so each request's simulated latency is
+// its queueing wait plus its batch's GPU time. A worker pool drains the
+// batches: each worker replays the batch cost model on the simulator
+// and runs real per-request inference at the engine's serving operating
+// point, scoring accuracy against the corpus reference labels.
+//
+// The serving path is error-returning end to end: request validation
+// goes through experiments.Lookup, inference through
+// lstm.Network.ClassifyE, and evaluation through core.Engine's
+// EvaluateSetE, so a malformed request costs one error response instead
+// of the process. Worker goroutines are registered in the Daemons
+// registry (the locklint-sanctioned daemon pattern) and Close drains
+// the queue gracefully: accepted requests are still served.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobilstm/internal/core"
+	"mobilstm/internal/experiments"
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/kernels"
+	"mobilstm/internal/lstm"
+	"mobilstm/internal/model"
+	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
+)
+
+// Sentinel errors of the serving path.
+var (
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrQueueFull reports that the bounded request queue was full — the
+	// server is saturated and the caller should back off.
+	ErrQueueFull = errors.New("serve: request queue full")
+)
+
+// AutoSet selects the serving threshold set automatically per
+// benchmark: the accuracy-oriented set (§VI-C), the most aggressive one
+// whose loss stays user-imperceptible.
+const AutoSet = -1
+
+// Config shapes a Server.
+type Config struct {
+	// GPU is the simulated platform; Profile the model evaluation
+	// profile (quick or full shapes).
+	GPU     gpu.Config
+	Profile model.Profile
+
+	// Mode is the execution flow served (default Combined); Set the
+	// threshold set, or AutoSet for the per-benchmark AO point.
+	Mode sched.Mode
+	Set  int
+
+	// Workers is the worker-pool size; QueueDepth bounds the request
+	// queue; MaxBatch caps the batching window's batch size; and
+	// BatchWindow is how long a partial batch waits for company before
+	// dispatching anyway (<= 0 dispatches immediately, i.e. no
+	// batching).
+	Workers     int
+	QueueDepth  int
+	MaxBatch    int
+	BatchWindow time.Duration
+
+	// RequestTimeout bounds each request's end-to-end time when > 0;
+	// it composes with the caller's context.
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig serves the combined optimization at the AO point on the
+// Tegra X1.
+func DefaultConfig() Config {
+	return Config{
+		GPU:         gpu.TegraX1(),
+		Profile:     model.Default(),
+		Mode:        sched.Combined,
+		Set:         AutoSet,
+		Workers:     2,
+		QueueDepth:  64,
+		MaxBatch:    4,
+		BatchWindow: 2 * time.Millisecond,
+	}
+}
+
+// Request is one inference request.
+type Request struct {
+	// Bench names the Table II benchmark to serve.
+	Bench string
+	// Seq is the input sequence. A nil Seq asks the server to pick a
+	// corpus sequence (round-robin over the benchmark's accuracy
+	// samples), whose reference label it knows.
+	Seq []tensor.Vector
+	// Ref is the reference label of a caller-supplied Seq; negative
+	// means unknown (the response is then not accuracy-scored). Ignored
+	// when Seq is nil.
+	Ref int
+}
+
+// Response is the served result of one request.
+type Response struct {
+	Bench string
+	// Class is the classification the serving operating point produced.
+	Class int
+	// Ref is the reference label scored against, or -1 if unknown.
+	Ref int
+	// Set is the threshold set the benchmark is served at.
+	Set int
+	// BatchSize is the number of live requests in this request's batch.
+	BatchSize int
+	// WaitMs is the real queueing wait (arrival to dispatch); GPUMs the
+	// simulated batch GPU time; LatencyMs their sum — the end-to-end
+	// response time of the §II-C batching trade.
+	WaitMs    float64
+	GPUMs     float64
+	LatencyMs float64
+}
+
+// request is the queued form of a Request.
+type request struct {
+	Request
+	ctx     context.Context
+	arrival time.Time
+	resp    chan result
+}
+
+type result struct {
+	r   *Response
+	err error
+}
+
+// Server is the concurrent inference front-end. Create with New, stop
+// with Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	queue    chan *request
+	dispatch chan []*request
+	daemons  Daemons
+
+	mu      sync.Mutex
+	closed  bool
+	engines map[string]*engineSlot
+
+	statsMu sync.Mutex
+	stats   map[string]*benchStats
+}
+
+// New starts a server: one batching daemon plus the worker pool, all
+// registered in the Daemons registry and collected by Close.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		queue:    make(chan *request, cfg.QueueDepth),
+		dispatch: make(chan []*request),
+		engines:  make(map[string]*engineSlot),
+		stats:    make(map[string]*benchStats),
+	}
+	s.daemons.Go(s.batchLoop)
+	for i := 0; i < cfg.Workers; i++ {
+		s.daemons.Go(s.workerLoop)
+	}
+	return s
+}
+
+// Submit enqueues one request and blocks until its response, the
+// context's end, or the configured request timeout. Unknown benchmark
+// names are rejected immediately (error-returning, not panicking).
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	if _, err := experiments.Lookup(req.Bench); err != nil {
+		return nil, err
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	r := &request{
+		Request: req,
+		ctx:     ctx,
+		arrival: time.Now(),
+		resp:    make(chan result, 1),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// The enqueue attempt is non-blocking, so holding the lock here is
+	// cheap; it is what makes close(s.queue) safe against late sends.
+	select {
+	case s.queue <- r:
+		s.mu.Unlock()
+		s.bump(req.Bench, func(st *benchStats) { st.submitted++ })
+	default:
+		s.mu.Unlock()
+		s.bump(req.Bench, func(st *benchStats) { st.rejected++ })
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case res := <-r.resp:
+		return res.r, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Warm builds a benchmark's serving engine (including its AO threshold
+// sweep when Set is AutoSet) ahead of traffic, so first-request latency
+// reflects steady-state serving rather than engine construction. It
+// returns the build error, if any; concurrent Warm calls share one
+// build. Warm also restarts the uptime clock, so Stats throughput is
+// measured over post-warm traffic.
+func (s *Server) Warm(bench string) error {
+	if _, err := experiments.Lookup(bench); err != nil {
+		return err
+	}
+	err := s.engine(bench).err
+	s.statsMu.Lock()
+	s.start = time.Now()
+	s.statsMu.Unlock()
+	return err
+}
+
+// Close stops accepting requests, drains the queue and the batching
+// window (every accepted request is still served), and waits for all
+// daemons to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.daemons.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.daemons.Wait()
+}
+
+// pendingBatch is one benchmark's open batching window.
+type pendingBatch struct {
+	reqs     []*request
+	deadline time.Time
+}
+
+// batchLoop is the batching daemon: it groups queued requests by
+// benchmark and dispatches a batch when it reaches MaxBatch or its
+// window deadline — the queueing wait the §II-C analysis charges
+// against server-style weight reuse. On queue close it flushes every
+// open window so Close drains gracefully.
+func (s *Server) batchLoop() {
+	defer close(s.dispatch)
+	pending := make(map[string]*pendingBatch)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	flush := func(now time.Time, all bool) {
+		for _, name := range sortedBatchKeys(pending) {
+			pb := pending[name]
+			if all || !pb.deadline.After(now) {
+				delete(pending, name)
+				s.dispatch <- pb.reqs
+			}
+		}
+	}
+
+	for {
+		var timeC <-chan time.Time
+		if next, ok := earliestDeadline(pending); ok {
+			timer.Reset(time.Until(next))
+			timeC = timer.C
+		}
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				flush(time.Time{}, true)
+				return
+			}
+			pb := pending[r.Bench]
+			if pb == nil {
+				pb = &pendingBatch{deadline: r.arrival.Add(s.cfg.BatchWindow)}
+				pending[r.Bench] = pb
+			}
+			pb.reqs = append(pb.reqs, r)
+			if len(pb.reqs) >= s.cfg.MaxBatch || s.cfg.BatchWindow <= 0 {
+				delete(pending, r.Bench)
+				s.dispatch <- pb.reqs
+			}
+		case now := <-timeC:
+			flush(now, false)
+		}
+	}
+}
+
+// earliestDeadline returns the soonest open-window deadline.
+func earliestDeadline(pending map[string]*pendingBatch) (time.Time, bool) {
+	var next time.Time
+	found := false
+	for _, pb := range pending {
+		if !found || pb.deadline.Before(next) {
+			next = pb.deadline
+			found = true
+		}
+	}
+	return next, found
+}
+
+// sortedBatchKeys keeps multi-benchmark dispatch order deterministic.
+func sortedBatchKeys(pending map[string]*pendingBatch) []string {
+	names := make([]string, 0, len(pending))
+	for name := range pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// workerLoop serves dispatched batches until the batcher closes the
+// dispatch channel.
+func (s *Server) workerLoop() {
+	for batch := range s.dispatch {
+		s.serveBatch(batch)
+	}
+}
+
+// serveBatch executes one batch: simulated batch-B GPU time for the
+// launch sequence, then real per-request inference at the serving
+// operating point. Requests whose context ended while queued are
+// dropped from the batch (and counted) before the GPU launch is sized.
+func (s *Server) serveBatch(batch []*request) {
+	bench := batch[0].Bench
+	slot := s.engine(bench)
+	if slot.err != nil {
+		for _, r := range batch {
+			r.resp <- result{err: slot.err}
+		}
+		s.bump(bench, func(st *benchStats) { st.errors += int64(len(batch)) })
+		return
+	}
+
+	dispatched := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			s.bump(bench, func(st *benchStats) { st.cancelled++ })
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	gpuMs, err := slot.batchMs(len(live))
+	if err != nil {
+		for _, r := range live {
+			r.resp <- result{err: err}
+		}
+		s.bump(bench, func(st *benchStats) { st.errors += int64(len(live)) })
+		return
+	}
+
+	for _, r := range live {
+		seq, ref := r.Seq, r.Ref
+		if seq == nil {
+			seq, ref = slot.corpus()
+		} else if ref < 0 {
+			ref = -1
+		}
+		class, err := slot.net().ClassifyE(seq, slot.opts)
+		if err != nil {
+			r.resp <- result{err: err}
+			s.bump(bench, func(st *benchStats) { st.errors++ })
+			continue
+		}
+		waitMs := dispatched.Sub(r.arrival).Seconds() * 1e3
+		resp := &Response{
+			Bench:     bench,
+			Class:     class,
+			Ref:       ref,
+			Set:       slot.set,
+			BatchSize: len(live),
+			WaitMs:    waitMs,
+			GPUMs:     gpuMs,
+			LatencyMs: waitMs + gpuMs,
+		}
+		s.bump(bench, func(st *benchStats) {
+			st.served++
+			st.waitSum += resp.WaitMs
+			st.gpuSum += resp.GPUMs
+			st.latencies = append(st.latencies, resp.LatencyMs)
+			st.set = slot.set
+			if ref >= 0 {
+				st.scored++
+				if class == ref {
+					st.correct++
+				}
+			}
+		})
+		r.resp <- result{r: resp}
+	}
+	s.bump(bench, func(st *benchStats) {
+		st.batches++
+		st.sumBatch += int64(len(live))
+	})
+}
+
+// engineSlot is one benchmark's shared serving state: the engine (built
+// once, then shared by every worker), the resolved threshold set and
+// its run options, the corpus cursor, and the per-batch-size GPU cost
+// cache.
+type engineSlot struct {
+	once sync.Once
+	err  error
+
+	eng  *core.Engine
+	set  int
+	opts lstm.RunOptions
+
+	cursor atomic.Int64
+
+	costMu sync.Mutex
+	costMs map[int]float64
+	sim    *gpu.Simulator
+	kb     *kernels.Builder
+}
+
+// engine returns (building on first use) the slot for a benchmark. The
+// sync.Once guard means concurrent first requests block on one build
+// instead of racing — the failure mode the Engine.Baseline fix and its
+// -race regression test pin down.
+func (s *Server) engine(bench string) *engineSlot {
+	s.mu.Lock()
+	slot, ok := s.engines[bench]
+	if !ok {
+		slot = &engineSlot{costMs: make(map[int]float64)}
+		s.engines[bench] = slot
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() { slot.build(bench, s.cfg) })
+	return slot
+}
+
+func (slot *engineSlot) build(bench string, cfg Config) {
+	b, err := experiments.Lookup(bench)
+	if err != nil {
+		slot.err = err
+		return
+	}
+	slot.eng = core.NewEngine(b, cfg.Profile, cfg.GPU)
+	slot.sim = gpu.NewSimulator(cfg.GPU)
+	slot.kb = kernels.NewBuilder(cfg.GPU)
+	slot.set = cfg.Set
+	if slot.set == AutoSet {
+		outs := make([]*core.Outcome, core.ThresholdSets)
+		for i := range outs {
+			o, err := slot.eng.EvaluateSetE(cfg.Mode, i)
+			if err != nil {
+				slot.err = err
+				return
+			}
+			outs[i] = o
+		}
+		slot.set = core.AOSet(outs)
+	}
+	slot.opts = slot.eng.RunOptionsFor(cfg.Mode, slot.set)
+}
+
+func (slot *engineSlot) net() *lstm.Network { return slot.eng.Inst.Net }
+
+// corpus returns the next round-robin accuracy sample and its reference
+// label.
+func (slot *engineSlot) corpus() ([]tensor.Vector, int) {
+	seqs, refs := slot.eng.Inst.AccSeqs()
+	i := int((slot.cursor.Add(1) - 1) % int64(len(seqs)))
+	return seqs[i], refs[i]
+}
+
+// batchMs returns the simulated GPU milliseconds of one batch-B launch
+// sequence at the benchmark's full Table II shape, cached per batch
+// size.
+func (slot *engineSlot) batchMs(batch int) (ms float64, err error) {
+	slot.costMu.Lock()
+	defer slot.costMu.Unlock()
+	if ms, ok := slot.costMs[batch]; ok {
+		return ms, nil
+	}
+	defer tensor.Guard(&err)
+	b := slot.eng.B
+	ks := slot.kb.RequestBatch(b.Hidden, b.Length, b.Layers, batch)
+	ms = slot.sim.Run(ks).Seconds * 1e3
+	slot.costMs[batch] = ms
+	return ms, nil
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobilstm/internal/gpu"
+	"mobilstm/internal/model"
+	"mobilstm/internal/sched"
+	"mobilstm/internal/tensor"
+)
+
+// tinyConfig keeps serving tests fast: capped model shapes and an
+// explicit threshold set (no AO sweep on engine build).
+func tinyConfig() Config {
+	return Config{
+		GPU: gpu.TegraX1(),
+		Profile: model.Profile{Name: "tiny", HiddenCap: 64, LengthCap: 16,
+			AccSamples: 10, PredictorSamples: 3, StatSamples: 2},
+		Mode:        sched.Combined,
+		Set:         4,
+		Workers:     2,
+		QueueDepth:  64,
+		MaxBatch:    4,
+		BatchWindow: 2 * time.Millisecond,
+	}
+}
+
+// TestServeConcurrent is the headline race test: many goroutines
+// serving two benchmarks through one server, sharing lazily built
+// engines. Run under -race it pins the engine registry, the batching
+// window, and the stats counters.
+func TestServeConcurrent(t *testing.T) {
+	s := New(tinyConfig())
+	defer s.Close()
+
+	const perBench = 8
+	var wg sync.WaitGroup
+	for _, bench := range []string{"MR", "BABI"} {
+		for i := 0; i < perBench; i++ {
+			wg.Add(1)
+			go func(bench string) {
+				defer wg.Done()
+				resp, err := s.Submit(context.Background(), Request{Bench: bench})
+				if err != nil {
+					t.Errorf("%s: %v", bench, err)
+					return
+				}
+				if resp.Bench != bench || resp.Ref < 0 {
+					t.Errorf("%s: bad response %+v", bench, resp)
+				}
+				if resp.LatencyMs < resp.GPUMs {
+					t.Errorf("%s: latency %v < gpu %v", bench, resp.LatencyMs, resp.GPUMs)
+				}
+			}(bench)
+		}
+	}
+	wg.Wait()
+
+	snap := s.Stats()
+	if len(snap.Benches) != 2 {
+		t.Fatalf("stats cover %d benchmarks, want 2", len(snap.Benches))
+	}
+	for _, bs := range snap.Benches {
+		if bs.Served != perBench {
+			t.Errorf("%s: served %d, want %d", bs.Bench, bs.Served, perBench)
+		}
+		if bs.Scored != perBench {
+			t.Errorf("%s: scored %d, want %d", bs.Bench, bs.Scored, perBench)
+		}
+		if bs.P95LatencyMs < bs.P50LatencyMs {
+			t.Errorf("%s: p95 %v < p50 %v", bs.Bench, bs.P95LatencyMs, bs.P50LatencyMs)
+		}
+		if bs.Set != 4 {
+			t.Errorf("%s: served at set %d, want 4", bs.Bench, bs.Set)
+		}
+	}
+	if !strings.Contains(snap.Report().String(), "MR") {
+		t.Error("report does not mention MR")
+	}
+}
+
+// TestBatchBySize: with an effectively infinite window, the batch must
+// form as soon as MaxBatch requests are queued.
+func TestBatchBySize(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxBatch = 3
+	cfg.BatchWindow = time.Hour
+	s := New(cfg)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	sizes := make(chan int, cfg.MaxBatch)
+	for i := 0; i < cfg.MaxBatch; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Submit(context.Background(), Request{Bench: "MR"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes <- resp.BatchSize
+		}()
+	}
+	wg.Wait()
+	close(sizes)
+	for size := range sizes {
+		if size != cfg.MaxBatch {
+			t.Fatalf("batch size %d, want %d (size-triggered dispatch)", size, cfg.MaxBatch)
+		}
+	}
+}
+
+// TestBatchByDeadline: fewer requests than MaxBatch must still dispatch
+// once the window deadline passes.
+func TestBatchByDeadline(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxBatch = 8
+	cfg.BatchWindow = 10 * time.Millisecond
+	s := New(cfg)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Submit(context.Background(), Request{Bench: "MR"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.BatchSize >= cfg.MaxBatch {
+				t.Errorf("batch size %d reached MaxBatch; want deadline dispatch", resp.BatchSize)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDrainOnClose: requests accepted before Close must be served, and
+// Submit after Close must fail with ErrClosed.
+func TestDrainOnClose(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = time.Hour // only Close's flush can dispatch these
+	cfg.MaxBatch = 64
+	s := New(cfg)
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), Request{Bench: "MR"})
+			errs <- err
+		}()
+	}
+	// Wait until all three are counted as submitted, then Close: the
+	// flush path must serve them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Stats()
+		if len(snap.Benches) == 1 && snap.Benches[0].Submitted == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests never registered as submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("accepted request not drained: %v", err)
+		}
+	}
+
+	if _, err := s.Submit(context.Background(), Request{Bench: "MR"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if got := s.Stats().Benches[0].Served; got != n {
+		t.Fatalf("served %d, want %d", got, n)
+	}
+}
+
+// TestContextCancellationMidQueue: a request cancelled while waiting in
+// an open batching window returns the context error and is dropped from
+// the batch before the GPU launch is sized.
+func TestContextCancellationMidQueue(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = time.Hour
+	cfg.MaxBatch = 64
+	s := New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, Request{Bench: "MR"})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Stats()
+		if len(snap.Benches) == 1 && snap.Benches[0].Submitted == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never registered as submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit returned %v, want context.Canceled", err)
+	}
+	s.Close() // flushes the window; the dead request must be dropped
+	snap := s.Stats()
+	if got := snap.Benches[0].Cancelled; got != 1 {
+		t.Fatalf("cancelled count %d, want 1", got)
+	}
+	if got := snap.Benches[0].Served; got != 0 {
+		t.Fatalf("served %d, want 0", got)
+	}
+}
+
+// TestRequestTimeout: the configured per-request budget bounds a
+// request stuck in a never-closing window.
+func TestRequestTimeout(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = time.Hour
+	cfg.MaxBatch = 64
+	cfg.RequestTimeout = 20 * time.Millisecond
+	s := New(cfg)
+	defer s.Close()
+
+	_, err := s.Submit(context.Background(), Request{Bench: "MR"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit returned %v, want deadline exceeded", err)
+	}
+}
+
+// TestUnknownBenchmark: validation is error-returning, not panicking.
+func TestUnknownBenchmark(t *testing.T) {
+	s := New(tinyConfig())
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), Request{Bench: "NOPE"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	} else if !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("error %q does not name the benchmark", err)
+	}
+}
+
+// TestCallerSequence: a caller-supplied sequence with an unknown label
+// serves unscored.
+func TestCallerSequence(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0 // dispatch immediately
+	s := New(cfg)
+	defer s.Close()
+
+	// Borrow a real corpus sequence so shapes are valid.
+	warm, err := s.Submit(context.Background(), Request{Bench: "MR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warm
+	s.mu.Lock()
+	slot := s.engines["MR"]
+	s.mu.Unlock()
+	seqs, _ := slot.eng.Inst.AccSeqs()
+
+	resp, err := s.Submit(context.Background(), Request{Bench: "MR", Seq: seqs[0], Ref: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ref != -1 {
+		t.Fatalf("unscored request got ref %d", resp.Ref)
+	}
+	snap := s.Stats()
+	if got := snap.Benches[0].Scored; got != 1 { // only the warm-up scored
+		t.Fatalf("scored %d, want 1", got)
+	}
+}
+
+// TestMalformedSequence: a shape-violating request costs one error
+// response, not the process — the Guard/RunE serving-path contract.
+func TestMalformedSequence(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0
+	s := New(cfg)
+	defer s.Close()
+
+	_, err := s.Submit(context.Background(), Request{Bench: "MR", Seq: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong input width: one float per step instead of Input().
+	bad := tensor.NewVector(1)
+	_, err = s.Submit(context.Background(), Request{Bench: "MR", Seq: []tensor.Vector{bad}, Ref: -1})
+	if err == nil {
+		t.Fatal("malformed sequence served without error")
+	}
+	// The server must still be live.
+	if _, err := s.Submit(context.Background(), Request{Bench: "MR"}); err != nil {
+		t.Fatalf("server dead after malformed request: %v", err)
+	}
+}
+
+// TestCloseIdempotent guards the double-Close path.
+func TestCloseIdempotent(t *testing.T) {
+	s := New(tinyConfig())
+	s.Close()
+	s.Close()
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobilstm/internal/report"
+	"mobilstm/internal/stats"
+)
+
+// benchStats is one benchmark's serving counters, guarded by the
+// server's stats mutex.
+type benchStats struct {
+	submitted int64
+	served    int64
+	rejected  int64
+	cancelled int64
+	errors    int64
+
+	batches  int64
+	sumBatch int64
+
+	scored  int64
+	correct int64
+
+	waitSum   float64
+	gpuSum    float64
+	latencies []float64
+
+	set int
+}
+
+// bump applies fn to a benchmark's counters under the stats lock.
+func (s *Server) bump(bench string, fn func(*benchStats)) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := s.stats[bench]
+	if st == nil {
+		st = &benchStats{set: -1}
+		s.stats[bench] = st
+	}
+	fn(st)
+}
+
+// BenchSnapshot is one benchmark's view in a Snapshot.
+type BenchSnapshot struct {
+	Bench string
+	// Set is the threshold set the benchmark is served at (-1 until the
+	// first batch resolves it).
+	Set int
+
+	// Counters over the snapshot's uptime.
+	Submitted, Served, Rejected, Cancelled, Errors int64
+
+	// MeanBatch is the mean live batch size across dispatched batches.
+	MeanBatch float64
+	// Throughput is served requests per second of uptime.
+	Throughput float64
+	// MeanWaitMs / MeanGPUMs split the mean latency into queueing wait
+	// and simulated batch GPU time; P50/P95LatencyMs are end-to-end.
+	MeanWaitMs   float64
+	MeanGPUMs    float64
+	P50LatencyMs float64
+	P95LatencyMs float64
+	// Accuracy is the fraction of scored responses matching their
+	// reference label; Scored how many responses had one.
+	Accuracy float64
+	Scored   int64
+}
+
+// Snapshot is a point-in-time view of the server's counters.
+type Snapshot struct {
+	Uptime  time.Duration
+	Benches []BenchSnapshot
+}
+
+// Stats snapshots the serving counters. Safe to call concurrently with
+// serving; benchmarks are ordered by name.
+func (s *Server) Stats() Snapshot {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	snap := Snapshot{Uptime: time.Since(s.start)}
+	names := make([]string, 0, len(s.stats))
+	for name := range s.stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.stats[name]
+		bs := BenchSnapshot{
+			Bench:     name,
+			Set:       st.set,
+			Submitted: st.submitted,
+			Served:    st.served,
+			Rejected:  st.rejected,
+			Cancelled: st.cancelled,
+			Errors:    st.errors,
+			Scored:    st.scored,
+		}
+		if st.batches > 0 {
+			bs.MeanBatch = float64(st.sumBatch) / float64(st.batches)
+		}
+		if up := snap.Uptime.Seconds(); up > 0 {
+			bs.Throughput = float64(st.served) / up
+		}
+		if st.served > 0 {
+			bs.MeanWaitMs = st.waitSum / float64(st.served)
+			bs.MeanGPUMs = st.gpuSum / float64(st.served)
+			bs.P50LatencyMs = stats.QuantileOf(st.latencies, 0.50)
+			bs.P95LatencyMs = stats.QuantileOf(st.latencies, 0.95)
+		}
+		if st.scored > 0 {
+			bs.Accuracy = float64(st.correct) / float64(st.scored)
+		}
+		snap.Benches = append(snap.Benches, bs)
+	}
+	return snap
+}
+
+// Report renders the snapshot as a per-benchmark serving table.
+func (snap Snapshot) Report() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Serving stats (%.1fs uptime)", snap.Uptime.Seconds()),
+		"Benchmark", "set", "served", "rej", "req/s", "batch",
+		"wait ms", "gpu ms", "p50 ms", "p95 ms", "accuracy")
+	for _, b := range snap.Benches {
+		acc := "-"
+		if b.Scored > 0 {
+			acc = fmt.Sprintf("%.1f%%", b.Accuracy*100)
+		}
+		t.AddRowf(b.Bench,
+			fmt.Sprintf("%d", b.Set),
+			fmt.Sprintf("%d", b.Served),
+			fmt.Sprintf("%d", b.Rejected),
+			fmt.Sprintf("%.1f", b.Throughput),
+			fmt.Sprintf("%.1f", b.MeanBatch),
+			fmt.Sprintf("%.2f", b.MeanWaitMs),
+			fmt.Sprintf("%.2f", b.MeanGPUMs),
+			fmt.Sprintf("%.2f", b.P50LatencyMs),
+			fmt.Sprintf("%.2f", b.P95LatencyMs),
+			acc)
+	}
+	return t
+}

@@ -14,13 +14,15 @@ import (
 	"mobilstm/internal/tensor"
 )
 
-// Quantile returns the q-quantile of sorted data (q clamped to [0, 1]).
-// It panics on empty input.
+// Quantile returns the q-quantile of sorted data (q clamped to [0, 1];
+// a NaN q clamps to 0 — it would otherwise pass both clamp branches and
+// reach the platform-defined int(NaN) conversion). It panics on empty
+// input.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		tensor.Panicf("stats: Quantile of empty slice")
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {

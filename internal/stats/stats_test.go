@@ -23,6 +23,31 @@ func TestQuantileConvention(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	one := []float64{7}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"NaN q clamps low", []float64{1, 2, 3}, math.NaN(), 1},
+		{"NaN q single", one, math.NaN(), 7},
+		{"q=0 single", one, 0, 7},
+		{"q=1 single", one, 1, 7},
+		{"q=0.5 single", one, 0.5, 7},
+		{"q=0 pair", []float64{1, 9}, 0, 1},
+		{"q=1 pair", []float64{1, 9}, 1, 9},
+		{"+Inf q clamps high", []float64{1, 9}, math.Inf(1), 9},
+		{"-Inf q clamps low", []float64{1, 9}, math.Inf(-1), 1},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
 func TestQuantilePanicsEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -16,6 +16,35 @@ import "fmt"
 // Panicf never returns. The Go compiler does not know that, so callers
 // in value-returning positions must follow it with an unreachable
 // return.
+//
+// The panic value is the unexported violation type, so a serving-path
+// recover boundary (Guard) can convert exactly these aborts to errors
+// while letting genuine bugs — index out of range, nil dereference —
+// crash loudly.
 func Panicf(format string, args ...any) {
-	panic(fmt.Sprintf(format, args...))
+	panic(violation(fmt.Sprintf(format, args...)))
+}
+
+// violation is the panic payload of Panicf. It implements error so a
+// recovered violation can be returned directly.
+type violation string
+
+func (v violation) Error() string { return string(v) }
+
+// Guard is the error boundary of the serving path: deferred in an
+// error-returning wrapper (lstm.Network.RunE, core.Engine.EvaluateSetE),
+// it converts a Panicf abort into *err and re-panics on anything else.
+//
+//	func (n *Network) RunE(...) (v Vector, err error) {
+//	    defer tensor.Guard(&err)
+//	    return n.Run(...), nil
+//	}
+func Guard(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case violation:
+		*err = r
+	default:
+		panic(r)
+	}
 }

@@ -144,7 +144,10 @@ func OpenCustom(base string, hidden, layers, length int, opts Options) (*System,
 		b.Length = length
 	}
 	b.Name = fmt.Sprintf("%s-%dx%dx%d", b.Name, b.Hidden, b.Layers, b.Length)
-	b.Seed ^= uint64(b.Hidden*2654435761 + b.Layers*40503 + b.Length)
+	// Mix in uint64: the Knuth multiplier exceeds 2^31, so int
+	// arithmetic would overflow (and fail to compile) on 32-bit
+	// platforms. Bit-identical to the old int math on 64-bit targets.
+	b.Seed ^= uint64(b.Hidden)*2654435761 + uint64(b.Layers)*40503 + uint64(b.Length)
 	prof := model.Quick()
 	if opts.Full {
 		prof = model.Full()
