@@ -5,7 +5,8 @@
 
 GO ?= go
 
-.PHONY: build test race vet vet386 lint lint-json fuzz-smoke serve-race check
+.PHONY: build test race vet vet386 lint lint-json fuzz-smoke serve-race \
+	determinism-race bench-json serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,37 @@ fuzz-smoke:
 # `make race`, kept separate so the serving loop can be hammered alone.
 serve-race:
 	$(GO) test -race -count=2 ./internal/serve/... ./internal/core/...
+
+# Focused race gate for the packed hot path: the network-level
+# determinism tests (bitwise-identical logits across GOMAXPROCS, the
+# cold-cache build race, Invalidate) plus the kernel equivalence suite.
+# Already inside `make race`; kept separate so CI reruns it -count=2.
+determinism-race:
+	$(GO) test -race -count=2 \
+		-run 'Bitwise|Repeatable|ColdCache|Invalidate|Equivalent|Matches' \
+		./internal/tensor/ ./internal/lstm/ ./internal/gru/
+
+# Hot-path benchmark trajectory: the united/packed kernel
+# micro-benchmarks plus the end-to-end Run benchmarks, folded into
+# BENCH_hotpath.json by cmd/benchjson (min ns/op over BENCHCOUNT
+# samples — the noise protocol of EXPERIMENTS.md). CI runs this as a
+# smoke with a short BENCHTIME; local trajectory numbers want the
+# defaults or longer.
+BENCHTIME ?= 10x
+BENCHCOUNT ?= 3
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench='Gemv|Gemm' -benchmem \
+		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) ./internal/tensor/ > /tmp/bench_hotpath.txt
+	$(GO) test -run='^$$' -bench='^BenchmarkRun' -benchmem \
+		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . >> /tmp/bench_hotpath.txt
+	/tmp/benchjson < /tmp/bench_hotpath.txt > BENCH_hotpath.json
+
+# End-to-end scenario smoke of the serving binary: a short open-loop
+# run over one benchmark on the quick profile. Exercises the batching
+# window, the worker pool, and the packed hot path under real traffic.
+serve-smoke:
+	$(GO) run ./cmd/mobilstm-serve -benches MR -requests 12 -interarrival 1 -seed 7
 
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(GO) run ./cmd/mobilstm-lint ./...

@@ -1,0 +1,142 @@
+// End-to-end benchmarks of the simulator's own float32 hot path: the
+// united-gate packed kernels running a full Run per execution mode, at
+// the quick-profile PTB shape (the trajectory BENCH_hotpath.json
+// records; see `make bench-json`). Unlike bench_test.go — which times
+// the *simulated* GPU pipeline — these measure the host-side numerics
+// the serving loop actually executes per request.
+//
+// bytes/op (and the derived MB/s) is the united weight volume streamed
+// per Run: every cell streams W_{f,i,c,o} once and every step streams
+// U_{f,i,c,o} once, per layer — the paper's §III lower bound on memory
+// traffic, so MB/s here is directly comparable across PRs.
+package mobilstm_test
+
+import (
+	"sync"
+	"testing"
+
+	"mobilstm/internal/gru"
+	"mobilstm/internal/intercell"
+	"mobilstm/internal/lstm"
+	"mobilstm/internal/model"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// hotMTS is the tissue bound used by the inter-cell modes below: the
+// quick-profile MTS neighborhood (intercell.FindMTS lands at 4-6 for the
+// Table II shapes); a constant keeps the benchmark free of the GPU
+// model and bit-stable across platforms.
+const hotMTS = 5
+
+var (
+	hotOnce sync.Once
+	hotInst *model.Instance
+	hotPred []intercell.Predictor
+)
+
+// hotSetup builds the quick-profile PTB instance shared by every
+// hot-path benchmark (and its Eq. 6 predictors, so the inter-cell modes
+// run the full predicted-link flow).
+func hotSetup(b *testing.B) (*model.Instance, []intercell.Predictor) {
+	b.Helper()
+	hotOnce.Do(func() {
+		bench, ok := model.ByName("PTB")
+		if !ok {
+			panic("hotpath: PTB benchmark missing")
+		}
+		hotInst = model.Build(bench, model.Quick())
+		hotPred = lstm.CollectPredictors(hotInst.Net, hotInst.Seqs[:2])
+	})
+	return hotInst, hotPred
+}
+
+// hotBytes is the united weight volume one Run streams (see package
+// comment).
+func hotBytes(n *lstm.Network, length int) int64 {
+	var per int64
+	for _, l := range n.Layers {
+		per += int64(length) * (l.UnitedWBytes() + l.UnitedUBytes())
+	}
+	return per
+}
+
+// hotModes are the four execution modes of the paper, at mid-sweep
+// thresholds (aggressive enough that the skip/division paths are
+// genuinely exercised).
+func hotModes(pred []intercell.Predictor) []struct {
+	name string
+	opt  lstm.RunOptions
+} {
+	return []struct {
+		name string
+		opt  lstm.RunOptions
+	}{
+		{"baseline", lstm.Baseline()},
+		{"inter", lstm.RunOptions{Inter: true, AlphaInter: 0.4, MTS: hotMTS, Predictors: pred}},
+		{"intra", lstm.RunOptions{Intra: true, AlphaIntra: 0.1}},
+		{"combined", lstm.RunOptions{Inter: true, AlphaInter: 0.4, MTS: hotMTS, Predictors: pred,
+			Intra: true, AlphaIntra: 0.1}},
+	}
+}
+
+// BenchmarkRun times one end-to-end Network.Run per execution mode on
+// the quick-profile PTB shape — the per-request inference cost of the
+// serving loop.
+func BenchmarkRun(b *testing.B) {
+	inst, pred := hotSetup(b)
+	xs := inst.Seqs[0]
+	for _, m := range hotModes(pred) {
+		b.Run(m.name, func(b *testing.B) {
+			b.SetBytes(hotBytes(inst.Net, len(xs)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.Net.Run(xs, m.opt)
+			}
+		})
+	}
+}
+
+// BenchmarkRunGRU times the GRU counterpart (3h united W, 2h united
+// U_{z,r}) at a KWS-like shape.
+func BenchmarkRunGRU(b *testing.B) {
+	const (
+		hidden = 128
+		length = 60
+		layers = 2
+	)
+	r := rng.New(0xbeef)
+	n := gru.NewNetwork(hidden, hidden, layers, 8)
+	n.InitRandom(r.Split(), nil, 0.5)
+	gen := r.Split()
+	xs := make([]tensor.Vector, length)
+	for t := range xs {
+		v := tensor.NewVector(hidden)
+		for j := range v {
+			v[j] = gen.NormF32(0, 1)
+		}
+		xs[t] = v
+	}
+	var bytes int64
+	for _, l := range n.Layers {
+		bytes += int64(length) * (3*int64(l.Hidden)*int64(l.Input)*4 + l.UnitedUBytes())
+	}
+	modes := []struct {
+		name string
+		opt  gru.RunOptions
+	}{
+		{"baseline", gru.Baseline()},
+		{"intra", gru.RunOptions{Intra: true, AlphaIntra: 0.1}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Run(xs, m.opt)
+			}
+		})
+	}
+}

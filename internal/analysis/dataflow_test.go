@@ -39,17 +39,28 @@ func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Col
 
 func (m *Matrix) Clone() *Matrix { return &Matrix{Rows: m.Rows, Cols: m.Cols} }
 
+func (m *Matrix) RowBlock(lo, hi int) *Matrix {
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 func AbsRowSums(m *Matrix) Vector { return NewVector(m.Rows) }
 
-func Gemv(dst Vector, m *Matrix, x Vector)                              {}
-func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, f float32)  {}
-func Gemm(dst, a, b *Matrix)                                            {}
-func Add(dst, a, b Vector)                                              {}
-func Mul(dst, a, b Vector)                                              {}
-func Axpy(dst Vector, alpha float32, x Vector)                          {}
-func Dot(a, b Vector) float32                                           { return 0 }
-func SigmoidVec(dst, x Vector)                                          {}
-func TanhVec(dst, x Vector)                                             {}
+func Pack(ms ...*Matrix) *Matrix { return ms[0] }
+
+func Gemv(dst Vector, m *Matrix, x Vector)                                  {}
+func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, f float32)      {}
+func Gemm(dst, a, b *Matrix)                                                {}
+func PackedGemv(dsts []Vector, m *Matrix, x Vector)                         {}
+func PackedGemvRows(dsts []Vector, m *Matrix, x Vector, s []bool, f float32) {}
+func PackedGemm(dst *Matrix, m *Matrix, xs []Vector)                        {}
+func ParallelGemv(dst Vector, m *Matrix, x Vector)                          {}
+func ParallelGemm(dst, a, b *Matrix)                                        {}
+func Add(dst, a, b Vector)                                                  {}
+func Mul(dst, a, b Vector)                                                  {}
+func Axpy(dst Vector, alpha float32, x Vector)                              {}
+func Dot(a, b Vector) float32                                               { return 0 }
+func SigmoidVec(dst, x Vector)                                              {}
+func TanhVec(dst, x Vector)                                                 {}
 `
 
 // kernelsStub is a miniature mobilstm/internal/kernels: the Builder
@@ -172,6 +183,28 @@ func f(h, e int, x tensor.Vector) {
 	for _, want := range []string{"Gemv", "dst length", "h", "4*h"} {
 		if !strings.Contains(got[0].Message, want) {
 			t.Errorf("message should report the inferred shapes (%q): %s", want, got[0].Message)
+		}
+	}
+}
+
+func TestShapeCheckFiresOnPackedMismatch(t *testing.T) {
+	// The seeded united-kernel fixture: a GRU-style 3h united matrix
+	// driven into an LSTM-sized 4h destination.
+	src := `package bad
+
+import "mobilstm/internal/tensor"
+
+func f(h, e int, xs []tensor.Vector) {
+	W := tensor.Pack(tensor.NewMatrix(h, e), tensor.NewMatrix(h, e), tensor.NewMatrix(h, e))
+	wx := tensor.NewMatrix(7, 4*h)
+	tensor.PackedGemm(wx, W, xs)
+}
+`
+	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "shapecheck", 8)
+	for _, want := range []string{"PackedGemm", "dst cols", "4*h", "united rows", "3*h"} {
+		if !strings.Contains(got[0].Message, want) {
+			t.Errorf("message should report the united shapes (%q): %s", want, got[0].Message)
 		}
 	}
 }
@@ -299,6 +332,63 @@ func TestShapeCheckTable(t *testing.T) {
 		tensor.Gemv(hv, U, hv)
 	}`,
 			want: []int{9},
+		},
+		{
+			name: "united pack pipeline stays clean",
+			body: `
+	Wf := tensor.NewMatrix(h, e)
+	Wi := tensor.NewMatrix(h, e)
+	Wc := tensor.NewMatrix(h, e)
+	Wo := tensor.NewMatrix(h, e)
+	W := tensor.Pack(Wf, Wi, Wc, Wo)
+	wx := tensor.NewMatrix(7, 4*h)
+	var xs []tensor.Vector
+	tensor.PackedGemm(wx, W, xs)
+	ufic := W.RowBlock(h, 4*h)
+	skip := make([]bool, h)
+	var dsts []tensor.Vector
+	tensor.PackedGemvRows(dsts, ufic, tensor.NewVector(e), skip, 0)`,
+			want: nil,
+		},
+		{
+			name: "packed gemm dst cols against united rows",
+			body: `
+	Wf := tensor.NewMatrix(h, e)
+	Wi := tensor.NewMatrix(h, e)
+	Wc := tensor.NewMatrix(h, e)
+	W := tensor.Pack(Wf, Wi, Wc)
+	bad := tensor.NewMatrix(7, 4*h)
+	var xs []tensor.Vector
+	tensor.PackedGemm(bad, W, xs)`,
+			want: []int{12},
+		},
+		{
+			name: "packed skip mask must tile the united matrix",
+			body: `
+	U := tensor.NewMatrix(4*h, h)
+	ufic := U.RowBlock(h, 4*h)
+	skip := make([]bool, 2*h)
+	hv := tensor.NewVector(h)
+	var dsts []tensor.Vector
+	tensor.PackedGemvRows(dsts, ufic, hv, skip, 0)`,
+			want: []int{11},
+		},
+		{
+			name: "pack rejects disagreeing columns",
+			body: `
+	a := tensor.NewMatrix(h, e)
+	b := tensor.NewMatrix(h, 2*e)
+	u := tensor.Pack(a, b)
+	_ = u`,
+			want: []int{8},
+		},
+		{
+			name: "parallel kernels check like their serial twins",
+			body: `
+	U := tensor.NewMatrix(4*h, h)
+	dst := tensor.NewVector(h)
+	tensor.ParallelGemv(dst, U, tensor.NewVector(h))`,
+			want: []int{8},
 		},
 	}
 	for _, tc := range cases {

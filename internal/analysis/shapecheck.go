@@ -19,10 +19,16 @@ import (
 // runtime through tensor.Panicf. shapecheck runs a symbolic dimension
 // lattice over each function body on the dataflow engine: vector and
 // matrix shapes are learned from tensor.NewVector/NewMatrix/Row/
-// AbsRowSums/Clone and make(), integer dimensions fold through named
-// constants and coef·base products (4*h keeps the base h), and every
+// AbsRowSums/Clone/Pack/RowBlock and make(), integer dimensions fold
+// through named constants, coef·base products (4*h keeps the base h)
+// and same-base sums (4*h - h keeps 3*h for RowBlock views), and every
 // Gemv/GemvRows/Gemm/Add/Mul/Axpy/Dot/SigmoidVec/HardSigmoidVec/TanhVec
-// call site is checked for compatible dst/m/x dimensions. The
+// call site is checked for compatible dst/m/x dimensions. The packed
+// and parallel kernels carry their own contracts: Pack inputs must
+// agree on columns, a PackedGemm destination's column count is the
+// united row count, a PackedGemvRows skip mask must tile the united
+// matrix, and ParallelGemv/ParallelGemm check exactly like their serial
+// twins (they are bitwise identical, so the shapes are too). The
 // kernels.Builder cost constructors take the same h/e/t integers, so a
 // dimension variable shared between a tensor allocation and a kernel
 // spec is tracked as one symbol.
@@ -260,20 +266,52 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 			return nil
 		}
 		switch name {
-		case "Gemv", "GemvRows":
+		case "Gemv", "GemvRows", "ParallelGemv":
 			rows, cols := c.mdims(ev, arg(1))
 			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "m rows", rows)
 			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
 			if name == "GemvRows" {
 				c.require(call, name, "skip length", c.vdim(ev, arg(3)), "m rows", rows)
 			}
-		case "Gemm":
+		case "Gemm", "ParallelGemm":
 			dr, dc := c.mdims(ev, arg(0))
 			ar, ac := c.mdims(ev, arg(1))
 			br, bc := c.mdims(ev, arg(2))
 			c.require(call, name, "a cols", ac, "b rows", br)
 			c.require(call, name, "dst rows", dr, "a rows", ar)
 			c.require(call, name, "dst cols", dc, "b cols", bc)
+		case "PackedGemv", "PackedGemvRows":
+			rows, cols := c.mdims(ev, arg(1))
+			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
+			if name == "PackedGemvRows" {
+				// The skip mask covers one segment of the united matrix:
+				// its length must divide the united row count (rows =
+				// len(dsts) × segment).
+				c.requireDivides(call, name, "skip length", c.vdim(ev, arg(3)), "united rows", rows)
+			}
+		case "PackedGemm":
+			// dst is len(xs) × m.Rows: its column count is the united row
+			// count (4h for the LSTM's W_{f,i,c,o}, 3h for the GRU's).
+			_, dc := c.mdims(ev, arg(0))
+			mr, _ := c.mdims(ev, arg(1))
+			c.require(call, name, "dst cols", dc, "united rows", mr)
+		case "Pack":
+			// All inputs to the row-wise concatenation must agree on the
+			// column count.
+			first := dim{}
+			firstIdx := 0
+			for i := range call.Args {
+				_, cl := c.mdims(ev, call.Args[i])
+				if !cl.known {
+					continue
+				}
+				if !first.known {
+					first, firstIdx = cl, i
+					continue
+				}
+				c.require(call, name, fmt.Sprintf("arg %d cols", firstIdx), first,
+					fmt.Sprintf("arg %d cols", i), cl)
+			}
 		case "Add", "Mul":
 			dn, an, bn := c.vdim(ev, arg(0)), c.vdim(ev, arg(1)), c.vdim(ev, arg(2))
 			c.require(call, name, "dst length", dn, "a length", an)
@@ -286,6 +324,49 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "x length", c.vdim(ev, arg(1)))
 		}
 		return true
+	})
+}
+
+// packFact derives the united shape of a tensor.Pack call: rows are the
+// same-base sum of the inputs' rows (Pack(Wf, Wi, Wc, Wo) of four h×e
+// gates is 4h×e), columns the agreed column count. A spread call or an
+// input with unknown shape leaves the corresponding dimension unknown.
+func (c *shapeClient) packFact(ev *env, call *ast.CallExpr) any {
+	if call.Ellipsis.IsValid() || len(call.Args) == 0 {
+		return nil
+	}
+	var rows, cols dim
+	for i, a := range call.Args {
+		r, cl := c.mdims(ev, a)
+		if i == 0 {
+			rows, cols = r, cl
+			continue
+		}
+		if rows.known && r.known && rows.base == r.base {
+			rows = dim{known: true, coef: rows.coef + r.coef, base: rows.base}
+		} else {
+			rows = dim{}
+		}
+		cols = mergeDim(cols, cl)
+	}
+	return matFact{rows, cols}
+}
+
+// requireDivides reports a segment mask whose length cannot tile the
+// united matrix: both dims known on the same base, with the united row
+// coefficient not a multiple of the mask's.
+func (c *shapeClient) requireDivides(call *ast.CallExpr, fname, aWhat string, a dim, bWhat string, b dim) {
+	if !a.known || !b.known || a.base != b.base || a.coef <= 0 {
+		return
+	}
+	if b.coef%a.coef == 0 {
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		Analyzer: "shapecheck",
+		Pos:      c.pass.Position(call.Pos()),
+		Message: fmt.Sprintf("tensor.%s shape mismatch: %s %s does not divide %s %s",
+			fname, aWhat, a, bWhat, b),
 	})
 }
 
@@ -462,13 +543,34 @@ func (c *shapeClient) vectorFact(ev *env, e ast.Expr) any {
 // has no environment binding.
 func (c *shapeClient) matrixFact(ev *env, e ast.Expr) any {
 	if call, ok := e.(*ast.CallExpr); ok {
-		if c.tensorCallee(call) == "NewMatrix" && len(call.Args) == 2 {
-			return matFact{c.dimOf(ev, call.Args[0]), c.dimOf(ev, call.Args[1])}
+		switch c.tensorCallee(call) {
+		case "NewMatrix":
+			if len(call.Args) == 2 {
+				return matFact{c.dimOf(ev, call.Args[0]), c.dimOf(ev, call.Args[1])}
+			}
+		case "Pack":
+			return c.packFact(ev, call)
 		}
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			if sel.Sel.Name == "Clone" && isTensorMatrix(c.pass.TypeOf(sel.X)) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isTensorMatrix(c.pass.TypeOf(sel.X)) {
+			switch sel.Sel.Name {
+			case "Clone":
 				if f, ok := ev.eval(sel.X).(matFact); ok {
 					return f
+				}
+			case "RowBlock":
+				// RowBlock(lo, hi) keeps the column count and has hi-lo
+				// rows when both bounds share a symbolic base.
+				if len(call.Args) == 2 {
+					_, cols := c.mdims(ev, sel.X)
+					lo, hi := c.dimOf(ev, call.Args[0]), c.dimOf(ev, call.Args[1])
+					rows := dim{}
+					if lo.known && hi.known && lo.base == hi.base {
+						rows = dim{known: true, coef: hi.coef - lo.coef, base: hi.base}
+						if rows.coef == 0 {
+							rows.base = nil
+						}
+					}
+					return matFact{rows, cols}
 				}
 			}
 		}
@@ -525,13 +627,30 @@ func (c *shapeClient) dimOf(ev *env, e ast.Expr) dim {
 			}
 		}
 	case *ast.BinaryExpr:
-		if e.Op == token.MUL {
+		switch e.Op {
+		case token.MUL:
 			x, y := c.dimOf(ev, e.X), c.dimOf(ev, e.Y)
 			if x.known && x.base == nil {
 				return y.scaled(x.coef)
 			}
 			if y.known && y.base == nil {
 				return x.scaled(y.coef)
+			}
+		case token.ADD, token.SUB:
+			// Same-base sums and differences stay on the lattice:
+			// 4*h - h = 3*h is how RowBlock views of the united matrix
+			// keep their symbolic row count.
+			x, y := c.dimOf(ev, e.X), c.dimOf(ev, e.Y)
+			if x.known && y.known && x.base == y.base {
+				co := x.coef + y.coef
+				if e.Op == token.SUB {
+					co = x.coef - y.coef
+				}
+				d := dim{known: true, coef: co, base: x.base}
+				if d.coef == 0 {
+					d.base = nil
+				}
+				return d
 			}
 		}
 	}

@@ -30,6 +30,7 @@ func Calibrate(n *Network, seqs [][]tensor.Vector, spreadFor func(layer int) flo
 func layerWs(l *Layer) []*tensor.Matrix { return []*tensor.Matrix{l.Wz, l.Wr, l.Wh} }
 
 func scaleColumns(l *Layer, act tensor.Vector) {
+	defer l.Invalidate()
 	var mean float64
 	for _, a := range act {
 		mean += float64(a)
@@ -54,6 +55,7 @@ func scaleColumns(l *Layer, act tensor.Vector) {
 }
 
 func normalizeSpread(l *Layer, seqs [][]tensor.Vector, target float64) {
+	defer l.Invalidate()
 	var sumSq float64
 	var count int64
 	tmp := tensor.NewVector(l.Hidden)
@@ -87,8 +89,12 @@ func forwardAll(n *Network, l *Layer, seqs [][]tensor.Vector) ([][]tensor.Vector
 	out := make([][]tensor.Vector, len(seqs))
 	sumAbs := make([]float64, l.Hidden)
 	var count int64
+	var sc *layerScratch
 	for si, xs := range seqs {
-		hs := n.runLayer(0, l, xs, Baseline(), nil)
+		if sc == nil {
+			sc = newLayerScratch(l.Hidden, len(xs))
+		}
+		hs := runLayerExact(n, l, xs, sc)
 		out[si] = hs
 		for _, h := range hs {
 			for j, v := range h {
@@ -102,6 +108,22 @@ func forwardAll(n *Network, l *Layer, seqs [][]tensor.Vector) ([][]tensor.Vector
 		act[j] = float32(sumAbs[j] / float64(count))
 	}
 	return out, act
+}
+
+// runLayerExact runs the layer over one sequence and returns hidden
+// vectors with their own backing store: forwardAll retains every
+// sequence's outputs at once, so they cannot stay in the reused scratch
+// slabs.
+func runLayerExact(n *Network, l *Layer, xs []tensor.Vector, sc *layerScratch) []tensor.Vector {
+	hs := n.runLayer(0, l, xs, Baseline(), nil, sc)
+	h := l.Hidden
+	buf := make([]float32, len(hs)*h)
+	out := make([]tensor.Vector, len(hs))
+	for t, v := range hs {
+		out[t] = buf[t*h : (t+1)*h]
+		copy(out[t], v)
+	}
+	return out
 }
 
 func calibrateHead(n *Network, seqs [][]tensor.Vector, act tensor.Vector) {

@@ -1,0 +1,64 @@
+package gru
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestGRURunBitwiseIdenticalAcrossGOMAXPROCS is the GRU twin of the LSTM
+// network-level determinism test: the packed W·x stage may fork worker
+// goroutines above the size gate, and sharding must never move a bit.
+func TestGRURunBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(97, 2, 5)
+	xs := seqsFor(98, 40, 1)[0]
+	modes := map[string]RunOptions{
+		"baseline": Baseline(),
+		"intra":    {Intra: true, AlphaIntra: 0.15},
+		"combined": {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPreds(n), Intra: true, AlphaIntra: 0.15},
+	}
+	for name, opt := range modes {
+		ref := n.Run(xs, opt)
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.Run(xs, opt)
+			runtime.GOMAXPROCS(prev)
+			for j := range ref {
+				if got[j] != ref[j] {
+					t.Fatalf("%s: logit %d differs at GOMAXPROCS=%d: %v vs %v",
+						name, j, procs, got[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+// TestGRUInvalidateRefreshesPackedCache pins the united-weight cache
+// contract for GRU layers.
+func TestGRUInvalidateRefreshesPackedCache(t *testing.T) {
+	n := testNet(99, 1, 3)
+	xs := seqsFor(100, 6, 1)[0]
+	before := n.Run(xs, Baseline())
+
+	l := n.Layers[0]
+	for i := range l.Wz.Data {
+		l.Wz.Data[i] *= 1.5
+	}
+	stale := n.Run(xs, Baseline())
+	for j := range before {
+		if stale[j] != before[j] {
+			t.Fatalf("mutation visible without Invalidate: logit %d %v vs %v", j, stale[j], before[j])
+		}
+	}
+
+	l.Invalidate()
+	fresh := n.Run(xs, Baseline())
+	same := true
+	for j := range before {
+		if fresh[j] != before[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Invalidate did not pick up the weight mutation")
+	}
+}

@@ -38,6 +38,11 @@ type Layer struct {
 	Wz, Wr, Wh *tensor.Matrix // (Hidden x Input)
 	Uz, Ur, Uh *tensor.Matrix // (Hidden x Hidden)
 	Bz, Br, Bh tensor.Vector
+
+	// packedCache caches the united weight views (packed.go); mutate a
+	// weight matrix after construction only through code that calls
+	// Invalidate.
+	packedCache
 }
 
 // NewLayer returns a zero-weight layer.
@@ -103,6 +108,7 @@ func (n *Network) InitRandom(r *rng.RNG, linkScale func(layer int) float64, carr
 }
 
 func initLayer(r *rng.RNG, l *Layer, dTarget, carryFrac float64) {
+	defer l.Invalidate()
 	h := float64(l.Hidden)
 	sigmaU := dTarget / (h * 0.7979)
 	for _, u := range []*tensor.Matrix{l.Uz, l.Ur, l.Uh} {
@@ -162,7 +168,9 @@ type LayerTrace struct {
 	SkipCounts    []int
 }
 
-// Run executes the network on one sequence and returns the logits.
+// Run executes the network on one sequence and returns the logits. Like
+// lstm.Run, the layer loop owns one scratch arena for the whole call, so
+// the hot path performs no per-cell allocation.
 func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 	if len(xs) == 0 {
 		tensor.Panicf("gru: empty input sequence")
@@ -175,6 +183,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			tensor.Panicf("gru: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
+	sc := newLayerScratch(n.Layers[0].Hidden, len(xs))
 	seq := xs
 	for li, l := range n.Layers {
 		var lt *LayerTrace
@@ -182,7 +191,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
 			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
 		}
-		seq = n.runLayer(li, l, seq, opt, lt)
+		seq = n.runLayer(li, l, seq, opt, lt, sc)
 	}
 	last := seq[len(seq)-1]
 	logits := tensor.NewVector(n.Head.Rows)
@@ -196,26 +205,169 @@ func (n *Network) Classify(xs []tensor.Vector, opt RunOptions) int {
 	return tensor.ArgMax(n.Run(xs, opt))
 }
 
-func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace) []tensor.Vector {
+// layerScratch is the arena behind one GRU forward pass, mirroring the
+// LSTM arena: per-cell buffers are carved out of a few growth-only
+// slabs, and hidden outputs use two ping-pong slabs because layer k+1
+// reads layer k's outputs while producing its own.
+type layerScratch struct {
+	hid      int
+	cells    int
+	capCells int
+
+	wxFull *tensor.Matrix // capCells × 3h united W·x slab
+	wx     *tensor.Matrix // first `cells` rows; row t = [xz|xr|xh]
+
+	uz, ur tensor.Vector   // U_{z,r} · h_{t-1}, views into one 2h slab
+	zr     []tensor.Vector // {uz, ur}: the PackedGemv destinations
+	uh, rh tensor.Vector   // U_h · (r ⊙ h_{t-1}) and its operand
+
+	zs, rs     []tensor.Vector // per-tissue update/reset gates
+	zBuf, rBuf []float32
+	skip       []bool
+
+	hsA, hsB       []tensor.Vector // ping-pong per-cell hidden outputs
+	hsABuf, hsBBuf []float32
+	ping           bool
+
+	states []tensor.Vector // per-sub-layer h, views into stBuf
+	stBuf  []float32
+	subOf  []int
+}
+
+func newLayerScratch(h, cells int) *layerScratch {
+	sc := &layerScratch{}
+	sc.reset(h, cells)
+	return sc
+}
+
+// reset prepares the arena for a layer of the given shape, reallocating
+// the slabs only when the shape outgrows them.
+func (sc *layerScratch) reset(h, cells int) {
+	if h != sc.hid || cells > sc.capCells {
+		c := cells
+		if h == sc.hid && c < sc.capCells {
+			c = sc.capCells
+		}
+		sc.hid, sc.capCells = h, c
+		sc.wxFull = tensor.NewMatrix(c, 3*h)
+		zrBuf := tensor.NewVector(2 * h)
+		sc.uz, sc.ur = zrBuf[:h], zrBuf[h:]
+		sc.zr = []tensor.Vector{sc.uz, sc.ur}
+		sc.uh = tensor.NewVector(h)
+		sc.rh = tensor.NewVector(h)
+		sc.skip = make([]bool, h)
+		sc.zBuf = make([]float32, c*h)
+		sc.rBuf = make([]float32, c*h)
+		sc.hsABuf = make([]float32, c*h)
+		sc.hsBBuf = make([]float32, c*h)
+		sc.zs = make([]tensor.Vector, c)
+		sc.rs = make([]tensor.Vector, c)
+		sc.hsA = make([]tensor.Vector, c)
+		sc.hsB = make([]tensor.Vector, c)
+		for i := 0; i < c; i++ {
+			sc.zs[i] = sc.zBuf[i*h : (i+1)*h]
+			sc.rs[i] = sc.rBuf[i*h : (i+1)*h]
+			sc.hsA[i] = sc.hsABuf[i*h : (i+1)*h]
+			sc.hsB[i] = sc.hsBBuf[i*h : (i+1)*h]
+		}
+		sc.stBuf = make([]float32, c*h)
+		sc.states = make([]tensor.Vector, c)
+		sc.subOf = make([]int, c)
+		sc.wx = nil
+	}
+	if sc.wx == nil || sc.wx.Rows != cells {
+		sc.wx = sc.wxFull.RowBlock(0, cells)
+	}
+	sc.cells = cells
+}
+
+// state binds sub-layer si's hidden state to its arena slot without
+// initializing the contents.
+func (sc *layerScratch) state(si int) tensor.Vector {
+	h := sc.hid
+	sc.states[si] = sc.stBuf[si*h : (si+1)*h]
+	return sc.states[si]
+}
+
+// nextHS flips the ping-pong and returns the hidden-output views for the
+// current layer.
+func (sc *layerScratch) nextHS() []tensor.Vector {
+	sc.ping = !sc.ping
+	if sc.ping {
+		return sc.hsA[:sc.cells]
+	}
+	return sc.hsB[:sc.cells]
+}
+
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch) []tensor.Vector {
 	nCells := len(xs)
 	h := l.Hidden
+	pw := l.packedWeights()
+	sc.reset(h, nCells)
 
-	xz := make([]tensor.Vector, nCells)
-	xr := make([]tensor.Vector, nCells)
-	xh := make([]tensor.Vector, nCells)
-	for t, x := range xs {
-		xz[t], xr[t], xh[t] = tensor.NewVector(h), tensor.NewVector(h), tensor.NewVector(h)
-		tensor.Gemv(xz[t], l.Wz, x)
-		tensor.Gemv(xr[t], l.Wr, x)
-		tensor.Gemv(xh[t], l.Wh, x)
+	// United input projections for the whole layer: one weight stream
+	// over W_{z,r,h} (the §II-B counterpart of the LSTM's united
+	// Sgemm(W_{f,i,c,o}, x)). Row t of wx is cell t's [xz|xr|xh].
+	tensor.PackedGemm(sc.wx, pw.w, xs)
+	wrow := func(t int) (xz, xr, xh tensor.Vector) {
+		row := sc.wx.Row(t)
+		return row[:h], row[h : 2*h], row[2*h:]
+	}
+
+	if !opt.Inter {
+		// Sequential flow: one sub-layer, every cell its own tissue —
+		// identical math to the generic path below with tissues of one,
+		// without materializing the per-cell tissue slices.
+		if lt != nil {
+			lt.SublayerSizes = []int{nCells}
+			ts := make([]int, nCells)
+			for i := range ts {
+				ts[i] = 1
+			}
+			lt.TissueSizes = ts
+		}
+		st := sc.state(0)
+		st.Fill(0)
+		hs := sc.nextHS()
+		z, rv := sc.zs[0], sc.rs[0]
+		for t := 0; t < nCells; t++ {
+			tensor.PackedGemv(sc.zr, pw.uzr, st)
+			xz, xr, xh := wrow(t)
+			for j := 0; j < h; j++ {
+				z[j] = tensor.Sigmoid(xz[j] + sc.uz[j] + l.Bz[j])
+				rv[j] = tensor.Sigmoid(xr[j] + sc.ur[j] + l.Br[j])
+			}
+			var skip []bool
+			var skipCount int
+			if opt.Intra {
+				skip, skipCount = tissueCarryRowsInto(sc.skip, sc.zs[:1], opt.AlphaIntra)
+			}
+			if lt != nil && opt.Intra {
+				lt.SkipCounts = append(lt.SkipCounts, skipCount)
+			}
+			tensor.Mul(sc.rh, rv, st)
+			tensor.GemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
+			hNew := hs[t]
+			for j := 0; j < h; j++ {
+				if skip != nil && skip[j] {
+					hNew[j] = st[j]
+					continue
+				}
+				cand := tensor.Tanh(xh[j] + sc.uh[j] + l.Bh[j])
+				hNew[j] = (1-z[j])*st[j] + z[j]*cand
+			}
+			copy(st, hNew)
+		}
+		return hs
 	}
 
 	var subs [][]int
-	if opt.Inter && nCells > 1 {
+	if nCells > 1 {
 		an := newAnalyzer(l)
 		rel := make([]float64, nCells-1)
 		for t := 1; t < nCells; t++ {
-			rel[t-1] = an.relevance(xz[t], xr[t], xh[t])
+			xz, xr, xh := wrow(t)
+			rel[t-1] = an.relevance(xz, xr, xh)
 		}
 		breaks := intercell.Breakpoints(rel, opt.AlphaInter)
 		subs = intercell.Sublayers(nCells, breaks)
@@ -226,84 +378,73 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 	} else {
 		subs = intercell.Sublayers(nCells, nil)
 	}
-	var tissues [][]int
-	if opt.Inter {
-		tissues = intercell.AlignTissues(subs, opt.MTS)
-	} else {
-		tissues = intercell.AlignTissues(subs, 1)
-	}
+	tissues := intercell.AlignTissues(subs, opt.MTS)
 	if lt != nil {
 		lt.SublayerSizes = intercell.TissueSizes(subs)
 		lt.TissueSizes = intercell.TissueSizes(tissues)
 	}
 
-	subOf := make([]int, nCells)
+	subOf := sc.subOf[:nCells]
 	for si, s := range subs {
 		for _, c := range s {
 			subOf[c] = si
 		}
 	}
-	states := make([]tensor.Vector, len(subs))
+	states := sc.states[:len(subs)]
 	for si := range states {
-		if si == 0 || !opt.Inter {
-			states[si] = tensor.NewVector(h)
+		st := sc.state(si)
+		if si == 0 {
+			st.Fill(0)
 			continue
 		}
-		states[si] = opt.Predictors[li].H.Clone()
+		copy(st, opt.Predictors[li].H)
 	}
 
-	hs := make([]tensor.Vector, nCells)
-	uz := tensor.NewVector(h)
-	ur := tensor.NewVector(h)
-	uh := tensor.NewVector(h)
-	rh := tensor.NewVector(h)
-	zs := make([]tensor.Vector, 0, opt.MTS+1)
-	rs := make([]tensor.Vector, 0, opt.MTS+1)
-
+	hs := sc.nextHS()
 	for _, tissue := range tissues {
 		// z and r first for every cell in the tissue: z gates the DRS
-		// decision, and both need only h_{t-1}.
-		zs, rs = zs[:0], rs[:0]
-		for _, cell := range tissue {
+		// decision, and both need only h_{t-1} — so U_z and U_r run as
+		// one united stream per cell.
+		zs, rs := sc.zs[:len(tissue)], sc.rs[:len(tissue)]
+		for ci, cell := range tissue {
 			hPrev := states[subOf[cell]]
-			tensor.Gemv(uz, l.Uz, hPrev)
-			tensor.Gemv(ur, l.Ur, hPrev)
-			z := tensor.NewVector(h)
-			rv := tensor.NewVector(h)
+			tensor.PackedGemv(sc.zr, pw.uzr, hPrev)
+			xz, xr, _ := wrow(cell)
+			z, rv := zs[ci], rs[ci]
 			for j := 0; j < h; j++ {
-				z[j] = tensor.Sigmoid(xz[cell][j] + uz[j] + l.Bz[j])
-				rv[j] = tensor.Sigmoid(xr[cell][j] + ur[j] + l.Br[j])
+				z[j] = tensor.Sigmoid(xz[j] + sc.uz[j] + l.Bz[j])
+				rv[j] = tensor.Sigmoid(xr[j] + sc.ur[j] + l.Br[j])
 			}
-			zs = append(zs, z)
-			rs = append(rs, rv)
 		}
 		// The tissue's shared skip set: candidate rows whose update gate
 		// is near zero for every cell in the tissue.
 		var skip []bool
 		var skipCount int
 		if opt.Intra {
-			skip, skipCount = tissueCarryRows(zs, opt.AlphaIntra)
+			skip, skipCount = tissueCarryRowsInto(sc.skip, zs, opt.AlphaIntra)
 		}
-		if lt != nil && (opt.Intra || opt.Inter) {
+		if lt != nil {
 			lt.SkipCounts = append(lt.SkipCounts, skipCount)
 		}
 		for ci, cell := range tissue {
 			hPrev := states[subOf[cell]]
-			tensor.Mul(rh, rs[ci], hPrev)
-			tensor.GemvRows(uh, l.Uh, rh, skip, 0)
+			tensor.Mul(sc.rh, rs[ci], hPrev)
+			tensor.GemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
 			z := zs[ci]
-			hNew := tensor.NewVector(h)
+			_, _, xh := wrow(cell)
+			hNew := hs[cell]
 			for j := 0; j < h; j++ {
 				if skip != nil && skip[j] {
 					// Carry: h_t[j] ~ h_{t-1}[j] since z[j] ~ 0.
 					hNew[j] = hPrev[j]
 					continue
 				}
-				cand := tensor.Tanh(xh[cell][j] + uh[j] + l.Bh[j])
+				cand := tensor.Tanh(xh[j] + sc.uh[j] + l.Bh[j])
 				hNew[j] = (1-z[j])*hPrev[j] + z[j]*cand
 			}
-			states[subOf[cell]] = hNew
-			hs[cell] = hNew.Clone()
+			// Advance the sub-layer state in place; hNew stays valid in
+			// the ping-pong slab as the layer output.
+			copy(hPrev, hNew)
 		}
 	}
 	return hs
@@ -315,9 +456,21 @@ func tissueCarryRows(zs []tensor.Vector, alpha float64) ([]bool, int) {
 	if alpha <= 0 || len(zs) == 0 {
 		return nil, 0
 	}
-	a := float32(alpha)
+	return tissueCarryRowsInto(make([]bool, len(zs[0])), zs, alpha)
+}
+
+// tissueCarryRowsInto is tissueCarryRows writing the mask into a
+// caller-owned buffer, so per-tissue calls on the hot path do not
+// allocate. Every element of dst is rewritten.
+func tissueCarryRowsInto(dst []bool, zs []tensor.Vector, alpha float64) ([]bool, int) {
+	if alpha <= 0 || len(zs) == 0 {
+		return nil, 0
+	}
 	dim := len(zs[0])
-	skip := make([]bool, dim)
+	if len(dst) != dim {
+		tensor.Panicf("gru: tissueCarryRowsInto mask length %d, want %d", len(dst), dim)
+	}
+	a := float32(alpha)
 	count := 0
 	for j := 0; j < dim; j++ {
 		carry := true
@@ -327,12 +480,12 @@ func tissueCarryRows(zs []tensor.Vector, alpha float64) ([]bool, int) {
 				break
 			}
 		}
+		dst[j] = carry
 		if carry {
-			skip[j] = true
 			count++
 		}
 	}
-	return skip, count
+	return dst, count
 }
 
 // CollectPredictors runs the exact flow over the sequences and returns
@@ -347,10 +500,14 @@ func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predic
 	for i, l := range n.Layers {
 		zero[i] = tensor.NewVector(l.Hidden)
 	}
+	var sc *layerScratch
 	for _, xs := range samples {
+		if sc == nil {
+			sc = newLayerScratch(n.Layers[0].Hidden, len(xs))
+		}
 		seq := xs
 		for li, l := range n.Layers {
-			hs := n.runLayer(li, l, seq, Baseline(), nil)
+			hs := n.runLayer(li, l, seq, Baseline(), nil, sc)
 			for _, h := range hs {
 				stats[li].Observe(h, zero[li])
 			}

@@ -42,9 +42,23 @@ func TissueTrivialRows(os []tensor.Vector, alpha float64) ([]bool, int) {
 	if alpha <= 0 || len(os) == 0 {
 		return nil, 0
 	}
+	return TissueTrivialRowsInto(make([]bool, len(os[0])), os, alpha)
+}
+
+// TissueTrivialRowsInto is TissueTrivialRows writing the mask into a
+// caller-owned buffer of length len(os[0]), so per-tissue calls on the
+// inference hot path do not allocate. Every element of dst is rewritten
+// (stale contents from a previous tissue are harmless). It returns
+// (nil, 0) when DRS is off, like TissueTrivialRows.
+func TissueTrivialRowsInto(dst []bool, os []tensor.Vector, alpha float64) ([]bool, int) {
+	if alpha <= 0 || len(os) == 0 {
+		return nil, 0
+	}
 	a := float32(alpha)
 	dim := len(os[0])
-	skip := make([]bool, dim)
+	if len(dst) != dim {
+		tensor.Panicf("intracell: TissueTrivialRowsInto mask length %d, want %d", len(dst), dim)
+	}
 	count := 0
 	for j := 0; j < dim; j++ {
 		trivial := true
@@ -57,12 +71,12 @@ func TissueTrivialRows(os []tensor.Vector, alpha float64) ([]bool, int) {
 				break
 			}
 		}
+		dst[j] = trivial
 		if trivial {
-			skip[j] = true
 			count++
 		}
 	}
-	return skip, count
+	return dst, count
 }
 
 // SkipFraction returns count/len as a convenience for reporting.

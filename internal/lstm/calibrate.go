@@ -49,6 +49,7 @@ func Calibrate(n *Network, seqs [][]tensor.Vector, spreadFor func(layer int) flo
 // the (mean-normalized) activity of input feature j, floored so no
 // feature is cut off entirely.
 func scaleColumns(l *Layer, act tensor.Vector) {
+	defer l.Invalidate()
 	var mean float64
 	for _, a := range act {
 		mean += float64(a)
@@ -76,6 +77,7 @@ func scaleColumns(l *Layer, act tensor.Vector) {
 // pre-activations W_g*x over the calibration sequences equals
 // targetSpread.
 func normalizeSpread(l *Layer, seqs [][]tensor.Vector, targetSpread float64) {
+	defer l.Invalidate()
 	var sumSq float64
 	var count int64
 	tmp := tensor.NewVector(l.Hidden)
@@ -129,26 +131,28 @@ func forwardAll(n *Network, l *Layer, seqs [][]tensor.Vector) ([][]tensor.Vector
 }
 
 // runLayerExact is the unmodified per-layer forward used during
-// calibration.
+// calibration. Unlike the Run path it returns hidden vectors with their
+// own backing store: forwardAll retains every sequence's outputs at
+// once, so they cannot live in a reused scratch slab.
 func runLayerExact(n *Network, l *Layer, xs []tensor.Vector) []tensor.Vector {
 	h := l.Hidden
-	st := cellState{h: tensor.NewVector(h), c: tensor.NewVector(h)}
-	scratch := newLayerScratch(h)
+	pw := l.packedWeights()
+	sc := newLayerScratch(h, len(xs))
+	tensor.PackedGemm(sc.wx, pw.w, xs)
+	st := sc.zeroState(0)
+	o := sc.os[0]
+	hsBuf := make([]float32, len(xs)*h)
 	hs := make([]tensor.Vector, len(xs))
-	xo := tensor.NewVector(h)
-	xf, xi, xc := tensor.NewVector(h), tensor.NewVector(h), tensor.NewVector(h)
-	for t, x := range xs {
-		tensor.Gemv(scratch.uo, l.Uo, st.h)
-		tensor.Gemv(xo, l.Wo, x)
-		o := tensor.NewVector(h)
+	for t := range xs {
+		row := sc.wx.Row(t)
+		xf, xi, xc, xo := row[:h], row[h:2*h], row[2*h:3*h], row[3*h:]
+		tensor.Gemv(sc.uo, pw.uo, st.h)
 		for j := 0; j < h; j++ {
-			o[j] = n.Gate.Apply(xo[j] + scratch.uo[j] + l.Bo[j])
+			o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
 		}
-		tensor.Gemv(xf, l.Wf, x)
-		tensor.Gemv(xi, l.Wi, x)
-		tensor.Gemv(xc, l.Wc, x)
-		n.stepFIC(l, &st, xf, xi, xc, o, nil, scratch)
-		hs[t] = st.h.Clone()
+		n.stepFIC(l, pw, st, xf, xi, xc, o, nil, sc)
+		hs[t] = hsBuf[t*h : (t+1)*h]
+		copy(hs[t], st.h)
 	}
 	return hs
 }

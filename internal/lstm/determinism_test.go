@@ -1,0 +1,124 @@
+package lstm
+
+import (
+	"runtime"
+	"testing"
+
+	"mobilstm/internal/rng"
+)
+
+// TestRunBitwiseIdenticalAcrossGOMAXPROCS pins the determinism guarantee
+// of the packed/parallel hot path at network level: the size-gated
+// fork-join inside PackedGemm shards rows, never accumulation chains, so
+// the logits of every execution mode must be identical to the last bit
+// whatever the scheduler does.
+func TestRunBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	// Big enough that the PackedGemm work gate (rows*cols products)
+	// actually opens and goroutines fork at GOMAXPROCS > 1.
+	n := testNet(t, 48, 64, 2, 5, 91)
+	xs := testSeqs(rng.New(92), 48, 40, 1)[0]
+	modes := map[string]RunOptions{
+		"baseline": Baseline(),
+		"intra":    {Intra: true, AlphaIntra: 0.1},
+		"inter":    {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPredictors(n)},
+		"combined": {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPredictors(n), Intra: true, AlphaIntra: 0.1},
+	}
+	for name, opt := range modes {
+		ref := n.Run(xs, opt)
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.Run(xs, opt)
+			runtime.GOMAXPROCS(prev)
+			for j := range ref {
+				if got[j] != ref[j] {
+					t.Fatalf("%s: logit %d differs at GOMAXPROCS=%d: %v vs %v",
+						name, j, procs, got[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunRepeatable pins that back-to-back runs through the reused
+// packed cache and scratch arenas are bitwise stable — a regression
+// guard against scratch state leaking between calls.
+func TestRunRepeatable(t *testing.T) {
+	n := testNet(t, 16, 24, 3, 4, 93)
+	seqs := testSeqs(rng.New(94), 16, 21, 2)
+	for _, xs := range seqs {
+		first := n.Run(xs, RunOptions{Intra: true, AlphaIntra: 0.08})
+		for rep := 0; rep < 3; rep++ {
+			again := n.Run(xs, RunOptions{Intra: true, AlphaIntra: 0.08})
+			for j := range first {
+				if again[j] != first[j] {
+					t.Fatalf("rep %d: logit %d drifted: %v vs %v", rep, j, again[j], first[j])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentRunsShareColdCache races first-use builds of the packed
+// weight cache: a fresh network run from many goroutines at once (the
+// serve-worker pattern) must agree on one united copy and produce
+// bitwise identical logits. Run under -race in CI, this is the
+// regression guard for the lock-free cache read.
+func TestConcurrentRunsShareColdCache(t *testing.T) {
+	n := testNet(t, 24, 32, 2, 4, 89)
+	xs := testSeqs(rng.New(90), 24, 18, 1)[0]
+	ref := testNet(t, 24, 32, 2, 4, 89).Run(xs, Baseline())
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	results := make([][]float32, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = n.Run(xs, Baseline())
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w, got := range results {
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("worker %d: logit %d differs: %v vs %v", w, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestInvalidateRefreshesPackedCache documents the cache contract: a
+// direct weight mutation without Invalidate leaves runs on the stale
+// united copy; Invalidate picks the new weights up.
+func TestInvalidateRefreshesPackedCache(t *testing.T) {
+	n := testNet(t, 8, 8, 1, 3, 95)
+	xs := testSeqs(rng.New(96), 8, 6, 1)[0]
+	before := n.Run(xs, Baseline()) // builds the cache
+
+	l := n.Layers[0]
+	for i := range l.Wf.Data {
+		l.Wf.Data[i] *= 1.5
+	}
+	stale := n.Run(xs, Baseline())
+	for j := range before {
+		if stale[j] != before[j] {
+			t.Fatalf("mutation visible without Invalidate: logit %d %v vs %v", j, stale[j], before[j])
+		}
+	}
+
+	l.Invalidate()
+	fresh := n.Run(xs, Baseline())
+	same := true
+	for j := range before {
+		if fresh[j] != before[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Invalidate did not pick up the weight mutation")
+	}
+}

@@ -31,6 +31,11 @@ type Layer struct {
 	Uf, Ui, Uc, Uo *tensor.Matrix
 	// b_g: biases (Hidden).
 	Bf, Bi, Bc, Bo tensor.Vector
+
+	// packedCache lazily holds the united row-wise views of W_g and U_g
+	// consumed by the packed kernels; see packed.go. Mutating any weight
+	// matrix after construction requires Invalidate.
+	packedCache
 }
 
 // NewLayer returns a zero-weight layer of the given shape.
@@ -155,6 +160,7 @@ func (n *Network) InitRandom(r *rng.RNG, linkScale func(layer int) float64, triv
 }
 
 func initLayer(r *rng.RNG, l *Layer, dTarget, trivialFrac, inputRMS float64) {
+	defer l.Invalidate()
 	h := float64(l.Hidden)
 	// Recurrent matrices: choose sigma so the expected per-row L1 norm
 	// E[D] = H * sigma * sqrt(2/pi) equals dTarget.

@@ -1,0 +1,63 @@
+package lstm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mobilstm/internal/tensor"
+)
+
+// packedWeights holds the united row-wise weight views of one layer —
+// the host-side counterpart of the W_{f,i,c,o}/U_{f,i,c,o} concatenation
+// the paper's GPU kernels consume. Packing once and caching it turns the
+// four per-gate weight streams of every cell into one contiguous stream,
+// and lets the hot path call the packed kernels without per-run copies.
+type packedWeights struct {
+	// w is the united input projection (4h × Input), rows [f|i|c|o] —
+	// the order the wx scratch rows are sliced in.
+	w *tensor.Matrix
+	// u is the united recurrent matrix (4h × Hidden) packed [o|f|i|c]:
+	// the output gate leads so the Algorithm 3 flow (o_t before
+	// U_{f,i,c}) gets both of its operands as free row-block views.
+	u *tensor.Matrix
+	// uo and ufic alias u: rows [0,h) and [h,4h).
+	uo, ufic *tensor.Matrix
+}
+
+// packedWeights returns the layer's cached united views, building them
+// on first use. Reads are a lock-free atomic load so concurrent serve
+// workers sharing one Network never contend; the build itself is
+// serialized under a mutex with a double-check, so racing first callers
+// agree on one cache.
+func (l *Layer) packedWeights() *packedWeights {
+	if p := l.packed.Load(); p != nil {
+		return p
+	}
+	l.packedMu.Lock()
+	defer l.packedMu.Unlock()
+	if p := l.packed.Load(); p != nil {
+		return p
+	}
+	p := &packedWeights{
+		w: tensor.Pack(l.Wf, l.Wi, l.Wc, l.Wo),
+		u: tensor.Pack(l.Uo, l.Uf, l.Ui, l.Uc),
+	}
+	p.uo = p.u.RowBlock(0, l.Hidden)
+	p.ufic = p.u.RowBlock(l.Hidden, 4*l.Hidden)
+	l.packed.Store(p)
+	return p
+}
+
+// Invalidate drops the cached united weight views. Every code path that
+// mutates W_g or U_g after construction (calibration rescaling, random
+// re-initialization, tests poking weights directly) must call it, or
+// later runs keep computing with the stale united copy.
+func (l *Layer) Invalidate() { l.packed.Store(nil) }
+
+// packedCache is the cache cell embedded in Layer. It is a separate
+// named struct so the zero value is documented in one place: nil pointer
+// means "not built", and the mutex only guards the build.
+type packedCache struct {
+	packedMu sync.Mutex
+	packed   atomic.Pointer[packedWeights]
+}

@@ -77,6 +77,11 @@ func (lt *LayerTrace) MeanSkipFraction(hidden int) float64 {
 // Run executes the network on one input sequence and returns the class
 // logits. The sequence is the layer input x_1..x_n (each of length
 // Input()); every layer consumes the previous layer's hidden outputs.
+//
+// The layer loop owns one scratch arena for the whole call: every
+// per-cell buffer (gate pre-activations, output gates, hidden outputs,
+// sub-layer states) lives in it, so the hot path performs no per-cell
+// allocation and a Run's footprint is a handful of arena slabs.
 func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 	if len(xs) == 0 {
 		tensor.Panicf("lstm: empty input sequence")
@@ -89,6 +94,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			tensor.Panicf("lstm: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
+	sc := newLayerScratch(n.Hidden(), len(xs))
 	seq := xs
 	for li, l := range n.Layers {
 		var lt *LayerTrace
@@ -96,7 +102,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
 			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
 		}
-		seq = n.runLayer(li, l, seq, opt, lt)
+		seq = n.runLayer(li, l, seq, opt, lt, sc)
 	}
 	last := seq[len(seq)-1]
 	logits := tensor.NewVector(n.Head.Rows)
@@ -127,20 +133,107 @@ func (n *Network) ClassifyE(xs []tensor.Vector, opt RunOptions) (class int, err 
 	return tensor.ArgMax(n.Run(xs, opt)), nil
 }
 
-// layerScratch holds the per-cell working vectors reused across steps.
+// layerScratch is the arena behind one forward pass: every buffer the
+// layer loop touches per cell is carved out of a few slabs sized once
+// (and re-sized only if a later call sees a bigger shape). Hidden
+// outputs use two ping-pong slabs because layer k+1 reads layer k's
+// outputs while producing its own.
 type layerScratch struct {
-	uo, uf, ui, uc tensor.Vector
-	pre            tensor.Vector
-	gf, gi, gc     tensor.Vector
+	hid      int // hidden size the buffers are carved for
+	cells    int // cells of the current layer
+	capCells int // slab capacity in cells
+
+	wxFull *tensor.Matrix // capCells × 4h united W·x slab
+	wx     *tensor.Matrix // first `cells` rows of wxFull; row t = [xf|xi|xc|xo]
+
+	uo         tensor.Vector   // U_o · h_{t-1}
+	uf, ui, uc tensor.Vector   // U_{f,i,c} · h_{t-1}, views into one slab
+	fic        []tensor.Vector // {uf, ui, uc}: the PackedGemvRows destinations
+
+	os    []tensor.Vector // per-tissue output gates, views into osBuf
+	osBuf []float32
+	skip  []bool // DRS mask reused across tissues
+
+	hsA, hsB       []tensor.Vector // ping-pong per-cell hidden outputs
+	hsABuf, hsBBuf []float32
+	ping           bool
+
+	states []cellState // per-sub-layer (h, c), views into stBuf
+	stBuf  []float32
+	subOf  []int
 }
 
-func newLayerScratch(h int) *layerScratch {
-	return &layerScratch{
-		uo: tensor.NewVector(h), uf: tensor.NewVector(h),
-		ui: tensor.NewVector(h), uc: tensor.NewVector(h),
-		pre: tensor.NewVector(h),
-		gf:  tensor.NewVector(h), gi: tensor.NewVector(h), gc: tensor.NewVector(h),
+func newLayerScratch(h, cells int) *layerScratch {
+	sc := &layerScratch{}
+	sc.reset(h, cells)
+	return sc
+}
+
+// reset prepares the arena for a layer of the given shape, reallocating
+// the slabs only when the shape outgrows them.
+func (sc *layerScratch) reset(h, cells int) {
+	if h != sc.hid || cells > sc.capCells {
+		c := cells
+		if h == sc.hid && c < sc.capCells {
+			c = sc.capCells
+		}
+		sc.hid, sc.capCells = h, c
+		sc.wxFull = tensor.NewMatrix(c, 4*h)
+		sc.uo = tensor.NewVector(h)
+		ficBuf := tensor.NewVector(3 * h)
+		sc.uf, sc.ui, sc.uc = ficBuf[:h], ficBuf[h:2*h], ficBuf[2*h:]
+		sc.fic = []tensor.Vector{sc.uf, sc.ui, sc.uc}
+		sc.skip = make([]bool, h)
+		sc.osBuf = make([]float32, c*h)
+		sc.hsABuf = make([]float32, c*h)
+		sc.hsBBuf = make([]float32, c*h)
+		sc.os = make([]tensor.Vector, c)
+		sc.hsA = make([]tensor.Vector, c)
+		sc.hsB = make([]tensor.Vector, c)
+		for i := 0; i < c; i++ {
+			sc.os[i] = sc.osBuf[i*h : (i+1)*h]
+			sc.hsA[i] = sc.hsABuf[i*h : (i+1)*h]
+			sc.hsB[i] = sc.hsBBuf[i*h : (i+1)*h]
+		}
+		sc.stBuf = make([]float32, 2*c*h)
+		sc.states = make([]cellState, c)
+		sc.subOf = make([]int, c)
+		sc.wx = nil
 	}
+	if sc.wx == nil || sc.wx.Rows != cells {
+		sc.wx = sc.wxFull.RowBlock(0, cells)
+	}
+	sc.cells = cells
+}
+
+// state binds sub-layer si's (h, c) pair to its arena slots without
+// initializing the contents.
+func (sc *layerScratch) state(si int) *cellState {
+	h := sc.hid
+	sc.states[si] = cellState{
+		h: sc.stBuf[2*si*h : (2*si+1)*h],
+		c: sc.stBuf[(2*si+1)*h : (2*si+2)*h],
+	}
+	return &sc.states[si]
+}
+
+// zeroState binds and zeroes sub-layer si's state.
+func (sc *layerScratch) zeroState(si int) *cellState {
+	st := sc.state(si)
+	st.h.Fill(0)
+	st.c.Fill(0)
+	return st
+}
+
+// nextHS flips the ping-pong and returns the hidden-output views for the
+// current layer: the previous layer's outputs (this layer's inputs)
+// stay valid in the other slab.
+func (sc *layerScratch) nextHS() []tensor.Vector {
+	sc.ping = !sc.ping
+	if sc.ping {
+		return sc.hsA[:sc.cells]
+	}
+	return sc.hsB[:sc.cells]
 }
 
 // cellState is the (h, c) pair carried along one sub-layer.
@@ -148,35 +241,66 @@ type cellState struct {
 	h, c tensor.Vector
 }
 
-func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace) []tensor.Vector {
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch) []tensor.Vector {
 	nCells := len(xs)
 	h := l.Hidden
+	pw := l.packedWeights()
+	sc.reset(h, nCells)
 
-	// Step 2 of Algorithm 1: the per-layer Sgemm(W_{f,i,c,o}, x). All
-	// layer inputs are ready up-front on mobile GPUs (§II-C).
-	xf := make([]tensor.Vector, nCells)
-	xi := make([]tensor.Vector, nCells)
-	xc := make([]tensor.Vector, nCells)
-	xo := make([]tensor.Vector, nCells)
-	for t, x := range xs {
-		xf[t] = tensor.NewVector(h)
-		xi[t] = tensor.NewVector(h)
-		xc[t] = tensor.NewVector(h)
-		xo[t] = tensor.NewVector(h)
-		tensor.Gemv(xf[t], l.Wf, x)
-		tensor.Gemv(xi[t], l.Wi, x)
-		tensor.Gemv(xc[t], l.Wc, x)
-		tensor.Gemv(xo[t], l.Wo, x)
+	// Step 2 of Algorithm 1: the per-layer Sgemm(W_{f,i,c,o}, x) as one
+	// united packed GEMM — all layer inputs are ready up-front on mobile
+	// GPUs (§II-C), so the whole layer's input projections are a single
+	// weight stream. Row t of wx holds cell t's united pre-activation.
+	tensor.PackedGemm(sc.wx, pw.w, xs)
+	wrow := func(t int) (xf, xi, xc, xo tensor.Vector) {
+		row := sc.wx.Row(t)
+		return row[:h], row[h : 2*h], row[2*h : 3*h], row[3*h:]
+	}
+
+	if !opt.Inter {
+		// Sequential flow: one sub-layer, every cell its own tissue. The
+		// united recurrent stream is split per cell into the U_o view
+		// (o_t first, Algorithm 3 lines 4-6) and the U_{f,i,c} block.
+		if lt != nil {
+			lt.SublayerSizes = []int{nCells}
+			ts := make([]int, nCells)
+			for i := range ts {
+				ts[i] = 1
+			}
+			lt.TissueSizes = ts
+		}
+		st := sc.zeroState(0)
+		hs := sc.nextHS()
+		o := sc.os[0]
+		for t := 0; t < nCells; t++ {
+			xf, xi, xc, xo := wrow(t)
+			tensor.Gemv(sc.uo, pw.uo, st.h)
+			for j := 0; j < h; j++ {
+				o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
+			}
+			var skip []bool
+			var skipCount int
+			if opt.Intra {
+				skip, skipCount = intracell.TissueTrivialRowsInto(sc.skip, sc.os[:1], opt.AlphaIntra)
+			}
+			if lt != nil && opt.Intra {
+				lt.SkipCounts = append(lt.SkipCounts, skipCount)
+			}
+			n.stepFIC(l, pw, st, xf, xi, xc, o, skip, sc)
+			copy(hs[t], st.h)
+		}
+		return hs
 	}
 
 	// Layer division (Fig. 10 step 5): relevance per link, breakpoints,
 	// sub-layers.
 	var subs [][]int
-	if opt.Inter && nCells > 1 {
+	if nCells > 1 {
 		an := l.Analyzer()
 		rel := make([]float64, nCells-1)
 		for t := 1; t < nCells; t++ {
-			rel[t-1] = an.Relevance(xf[t], xi[t], xc[t], xo[t])
+			xf, xi, xc, xo := wrow(t)
+			rel[t-1] = an.Relevance(xf, xi, xc, xo)
 		}
 		breaks := intercell.Breakpoints(rel, opt.AlphaInter)
 		subs = intercell.Sublayers(nCells, breaks)
@@ -188,14 +312,8 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		subs = intercell.Sublayers(nCells, nil)
 	}
 
-	// Tissue re-organization (Fig. 10 steps 7-8). Without the inter-cell
-	// optimization every cell is its own tissue (strictly sequential).
-	var tissues [][]int
-	if opt.Inter {
-		tissues = intercell.AlignTissues(subs, opt.MTS)
-	} else {
-		tissues = intercell.AlignTissues(subs, 1)
-	}
+	// Tissue re-organization (Fig. 10 steps 7-8).
+	tissues := intercell.AlignTissues(subs, opt.MTS)
 	if lt != nil {
 		lt.SublayerSizes = intercell.TissueSizes(subs)
 		lt.TissueSizes = intercell.TissueSizes(tissues)
@@ -204,55 +322,55 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 	// Sub-layer lookup and initial states: sub-layer 0 starts from the
 	// layer's zero initial state; every later sub-layer starts from the
 	// predicted context link (Fig. 10 step 6).
-	subOf := make([]int, nCells)
+	subOf := sc.subOf[:nCells]
 	for si, s := range subs {
 		for _, c := range s {
 			subOf[c] = si
 		}
 	}
-	states := make([]cellState, len(subs))
+	states := sc.states[:len(subs)]
 	for si := range states {
-		if si == 0 || !opt.Inter {
-			states[si] = cellState{h: tensor.NewVector(h), c: tensor.NewVector(h)}
+		if si == 0 {
+			sc.zeroState(si)
 			continue
 		}
+		st := sc.state(si)
 		p := opt.Predictors[li]
-		states[si] = cellState{h: p.H.Clone(), c: p.C.Clone()}
+		copy(st.h, p.H)
+		copy(st.c, p.C)
 	}
 
-	hs := make([]tensor.Vector, nCells)
-	scratch := newLayerScratch(h)
-	os := make([]tensor.Vector, 0, opt.MTS+1)
-
+	hs := sc.nextHS()
 	for _, tissue := range tissues {
 		// First the output gates of every cell in the tissue — in the
 		// DRS flow o_t must exist before U_{f,i,c} is touched
 		// (Algorithm 3 lines 4-6); in the combined flow the tissue's
 		// shared skip set is the intersection across its cells.
-		os = os[:0]
-		for _, cell := range tissue {
+		os := sc.os[:len(tissue)]
+		for oi, cell := range tissue {
 			st := &states[subOf[cell]]
-			tensor.Gemv(scratch.uo, l.Uo, st.h)
-			o := tensor.NewVector(h)
+			_, _, _, xo := wrow(cell)
+			tensor.Gemv(sc.uo, pw.uo, st.h)
+			o := os[oi]
 			for j := 0; j < h; j++ {
-				o[j] = n.Gate.Apply(xo[cell][j] + scratch.uo[j] + l.Bo[j])
+				o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
 			}
-			os = append(os, o)
 		}
 		var skip []bool
 		var skipCount int
 		if opt.Intra {
-			skip, skipCount = intracell.TissueTrivialRows(os, opt.AlphaIntra)
+			skip, skipCount = intracell.TissueTrivialRowsInto(sc.skip, os, opt.AlphaIntra)
 		}
-		if lt != nil && (opt.Intra || opt.Inter) {
+		if lt != nil {
 			lt.SkipCounts = append(lt.SkipCounts, skipCount)
 		}
 		// Then the f, i, c gates (with trivial rows disabled) and the
 		// element-wise state update per cell.
 		for ci, cell := range tissue {
 			st := &states[subOf[cell]]
-			n.stepFIC(l, st, xf[cell], xi[cell], xc[cell], os[ci], skip, scratch)
-			hs[cell] = st.h.Clone()
+			xf, xi, xc, _ := wrow(cell)
+			n.stepFIC(l, pw, st, xf, xi, xc, os[ci], skip, sc)
+			copy(hs[cell], st.h)
 		}
 	}
 	return hs
@@ -260,12 +378,13 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 
 // stepFIC completes one cell given its output gate: computes f_t, i_t,
 // the candidate, and updates (c, h) in place. Rows marked in skip are not
-// computed; their c and h elements are approximated to zero (§V-A).
-func (n *Network) stepFIC(l *Layer, st *cellState, xf, xi, xc, o tensor.Vector, skip []bool, s *layerScratch) {
+// computed; their c and h elements are approximated to zero (§V-A). The
+// three recurrent products are one united pass over the U_{f,i,c} block
+// of the packed matrix — the recurrent input streams once across all
+// three gates, and the skip mask disables a row in all of them at once.
+func (n *Network) stepFIC(l *Layer, pw *packedWeights, st *cellState, xf, xi, xc, o tensor.Vector, skip []bool, s *layerScratch) {
 	h := l.Hidden
-	tensor.GemvRows(s.uf, l.Uf, st.h, skip, 0)
-	tensor.GemvRows(s.ui, l.Ui, st.h, skip, 0)
-	tensor.GemvRows(s.uc, l.Uc, st.h, skip, 0)
+	tensor.PackedGemvRows(s.fic, pw.ufic, st.h, skip, 0)
 	for j := 0; j < h; j++ {
 		if skip != nil && skip[j] {
 			st.c[j] = 0
@@ -290,10 +409,14 @@ func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predic
 	for i, l := range n.Layers {
 		stats[i] = intercell.NewLinkStats(l.Hidden)
 	}
+	var sc *layerScratch
 	for _, xs := range samples {
+		if sc == nil {
+			sc = newLayerScratch(n.Hidden(), len(xs))
+		}
 		seq := xs
 		for li, l := range n.Layers {
-			seq = observeLayer(n, l, seq, stats[li])
+			seq = observeLayer(n, l, seq, stats[li], sc)
 		}
 	}
 	out := make([]intercell.Predictor, len(n.Layers))
@@ -304,27 +427,26 @@ func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predic
 }
 
 // observeLayer runs one layer exactly and feeds every context link to the
-// accumulator, returning the hidden sequence for the next layer.
-func observeLayer(n *Network, l *Layer, xs []tensor.Vector, ls *intercell.LinkStats) []tensor.Vector {
+// accumulator, returning the hidden sequence for the next layer (backed
+// by the scratch ping-pong slab, valid until the layer after next).
+func observeLayer(n *Network, l *Layer, xs []tensor.Vector, ls *intercell.LinkStats, sc *layerScratch) []tensor.Vector {
 	h := l.Hidden
-	st := cellState{h: tensor.NewVector(h), c: tensor.NewVector(h)}
-	scratch := newLayerScratch(h)
-	hs := make([]tensor.Vector, len(xs))
-	xg := tensor.NewVector(h)
-	for t, x := range xs {
+	pw := l.packedWeights()
+	sc.reset(h, len(xs))
+	tensor.PackedGemm(sc.wx, pw.w, xs)
+	st := sc.zeroState(0)
+	hs := sc.nextHS()
+	o := sc.os[0]
+	for t := range xs {
+		row := sc.wx.Row(t)
+		xf, xi, xc, xo := row[:h], row[h:2*h], row[2*h:3*h], row[3*h:]
 		// o_t first (same math as Run, no skipping).
-		tensor.Gemv(scratch.uo, l.Uo, st.h)
-		tensor.Gemv(xg, l.Wo, x)
-		o := tensor.NewVector(h)
+		tensor.Gemv(sc.uo, pw.uo, st.h)
 		for j := 0; j < h; j++ {
-			o[j] = n.Gate.Apply(xg[j] + scratch.uo[j] + l.Bo[j])
+			o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
 		}
-		xfv, xiv, xcv := tensor.NewVector(h), tensor.NewVector(h), tensor.NewVector(h)
-		tensor.Gemv(xfv, l.Wf, x)
-		tensor.Gemv(xiv, l.Wi, x)
-		tensor.Gemv(xcv, l.Wc, x)
-		n.stepFIC(l, &st, xfv, xiv, xcv, o, nil, scratch)
-		hs[t] = st.h.Clone()
+		n.stepFIC(l, pw, st, xf, xi, xc, o, nil, sc)
+		copy(hs[t], st.h)
 		ls.Observe(st.h, st.c)
 	}
 	return hs

@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"mobilstm/internal/rng"
+)
+
+// Micro-benchmarks for the kernel tiers. Shapes mirror the hot path:
+// h=650 is the paper's PTB hidden size, so the LSTM united U matrix is
+// 2600×650 and the GRU's U_{z,r} is 1300×650. SetBytes counts the
+// weight stream (the quantity the paper's memory model bounds), so
+// ns/op converts to an effective weight bandwidth in MB/s.
+
+func benchDims(h int) (united *Matrix, gates []*Matrix, x Vector) {
+	r := rng.New(0xbe9c)
+	gates = make([]*Matrix, 4)
+	for g := range gates {
+		gates[g] = randMatrix(r, h, h)
+	}
+	return Pack(gates...), gates, randVector(r, h)
+}
+
+func BenchmarkGemvPerGate(b *testing.B) {
+	const h = 650
+	_, gates, x := benchDims(h)
+	dsts := []Vector{NewVector(h), NewVector(h), NewVector(h), NewVector(h)}
+	b.SetBytes(int64(4*h) * int64(h) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := range gates {
+			Gemv(dsts[g], gates[g], x)
+		}
+	}
+}
+
+func BenchmarkPackedGemv(b *testing.B) {
+	const h = 650
+	united, _, x := benchDims(h)
+	dsts := []Vector{NewVector(h), NewVector(h), NewVector(h), NewVector(h)}
+	b.SetBytes(united.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackedGemv(dsts, united, x)
+	}
+}
+
+func BenchmarkPackedGemvRowsSkipHalf(b *testing.B) {
+	const h = 650
+	united, _, x := benchDims(h)
+	dsts := []Vector{NewVector(h), NewVector(h), NewVector(h), NewVector(h)}
+	skip := make([]bool, h)
+	for i := range skip {
+		skip[i] = i%2 == 0
+	}
+	b.SetBytes(united.SizeBytes() / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackedGemvRows(dsts, united, x, skip, -1)
+	}
+}
+
+func BenchmarkParallelGemv(b *testing.B) {
+	const h = 650
+	united, _, x := benchDims(h)
+	dst := NewVector(4 * h)
+	b.SetBytes(united.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelGemv(dst, united, x)
+	}
+}
+
+func BenchmarkPackedGemm(b *testing.B) {
+	const h, steps = 650, 16
+	united, _, _ := benchDims(h)
+	r := rng.New(0x9c27)
+	xs := make([]Vector, steps)
+	for t := range xs {
+		xs[t] = randVector(r, h)
+	}
+	dst := NewMatrix(steps, 4*h)
+	b.SetBytes(united.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackedGemm(dst, united, xs)
+	}
+}
+
+func BenchmarkGemmSizes(b *testing.B) {
+	r := rng.New(0x77aa)
+	for _, n := range []int{64, 256} {
+		a := randMatrix(r, n, n)
+		c := randMatrix(r, n, n)
+		dst := NewMatrix(n, n)
+		b.Run(fmt.Sprintf("serial/%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(n) * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Gemm(dst, a, c)
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(n) * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ParallelGemm(dst, a, c)
+			}
+		})
+	}
+}

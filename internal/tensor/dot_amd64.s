@@ -1,0 +1,75 @@
+// func dotSSE(row, x *float32, n int) float32
+//
+// SSE2 body of the canonical dot-product chain. The chain is defined by
+// dotRowGeneric in kernel.go and must be matched bitwise: four packed
+// accumulators A..D hold the sixteen 16-strided lane sums (X0..X3, one
+// group of four lanes each), folded lanewise as (A+B)+(C+D) and then
+// scalar as ((l0+l1)+l2)+l3, with a serial scalar remainder. MULPS and
+// ADDPS apply lanewise IEEE float32 arithmetic, so every lane sum is
+// the same operation sequence as its Go counterpart.
+
+#include "textflag.h"
+
+TEXT ·dotSSE(SB), NOSPLIT, $0-28
+	MOVQ  row+0(FP), SI
+	MOVQ  x+8(FP), DI
+	MOVQ  n+16(FP), CX
+	XORPS X0, X0             // A: lanes 0..3
+	XORPS X1, X1             // B: lanes 4..7
+	XORPS X2, X2             // C: lanes 8..11
+	XORPS X3, X3             // D: lanes 12..15
+	MOVQ  CX, BX
+	SHRQ  $4, BX             // BX = number of full 16-float blocks
+	JZ    fold
+
+loop16:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	MOVUPS 16(SI), X5
+	MOVUPS 16(DI), X6
+	MULPS  X6, X5
+	ADDPS  X5, X1
+	MOVUPS 32(SI), X6
+	MOVUPS 32(DI), X7
+	MULPS  X7, X6
+	ADDPS  X6, X2
+	MOVUPS 48(SI), X7
+	MOVUPS 48(DI), X8
+	MULPS  X8, X7
+	ADDPS  X7, X3
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   BX
+	JNZ    loop16
+
+fold:
+	// Lanewise (A+B) + (C+D), then scalar ((l0+l1)+l2)+l3.
+	ADDPS  X1, X0
+	ADDPS  X3, X2
+	ADDPS  X2, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1     // broadcast lane 1
+	MOVAPS X0, X2
+	SHUFPS $0xAA, X2, X2     // broadcast lane 2
+	MOVAPS X0, X3
+	SHUFPS $0xFF, X3, X3     // broadcast lane 3
+	ADDSS  X1, X0            // l0+l1
+	ADDSS  X2, X0            // +l2
+	ADDSS  X3, X0            // +l3
+	ANDQ   $15, CX
+	JZ     done
+
+tail:
+	MOVSS (SI), X4
+	MULSS (DI), X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   tail
+
+done:
+	MOVSS X0, ret+24(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// dotRow on architectures without an assembly body is the chain
+// definition itself (kernel.go's dotRowGeneric).
+func dotRow(row, x []float32) float32 { return dotRowGeneric(row, x) }

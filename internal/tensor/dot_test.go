@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"testing"
+
+	"mobilstm/internal/rng"
+)
+
+// TestDotRowMatchesGeneric pins the dispatching dotRow (SSE2 assembly
+// on amd64, alias of the Go chain elsewhere) to the chain definition in
+// dotRowGeneric, bitwise, across block boundaries, remainders, and the
+// empty row.
+func TestDotRowMatchesGeneric(t *testing.T) {
+	r := rng.New(0x61)
+	sizes := []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 47, 48, 63, 64, 65, 100, 127, 192, 650}
+	for _, n := range sizes {
+		row := make([]float32, n)
+		x := make([]float32, n+3) // x may be longer than row; only x[:n] is read
+		for i := range row {
+			row[i] = float32(r.Norm())
+		}
+		for i := range x {
+			x[i] = float32(r.Norm())
+		}
+		got := dotRow(row, x)
+		want := dotRowGeneric(row, x)
+		if got != want {
+			t.Errorf("n=%d: dotRow=%v dotRowGeneric=%v", n, got, want)
+		}
+	}
+}
+
+// TestDotRowAdversarialValues exercises cancellation-heavy inputs where
+// any reassociation between the assembly and Go chains would surface as
+// a bit difference.
+func TestDotRowAdversarialValues(t *testing.T) {
+	r := rng.New(0x62)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		row := make([]float32, n)
+		x := make([]float32, n)
+		for i := range row {
+			// Wildly varying magnitudes: rounding differs under any
+			// alternative summation order.
+			row[i] = float32(r.Norm() * r.Float64() * 1e6)
+			x[i] = float32(r.Norm() / (1 + r.Float64()*1e5))
+		}
+		got := dotRow(row, x)
+		want := dotRowGeneric(row, x)
+		if got != want {
+			t.Fatalf("trial %d n=%d: dotRow=%v dotRowGeneric=%v", trial, n, got, want)
+		}
+	}
+}

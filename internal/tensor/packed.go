@@ -1,0 +1,136 @@
+package tensor
+
+// United-gate packed kernels: the paper's central trick — concatenate
+// the per-gate weight matrices row-wise into one united matrix
+// (U_{f,i,c,o} is 4h×h, the GRU's U_{z,r} is 2h×h) and stream the input
+// vector through it once per cell instead of once per gate. The packed
+// kernels below are the host-side float32 counterparts of the
+// Sgemv/Sgemm united kernels the GPU model replays: one weight stream,
+// multiple gate outputs, bitwise identical to the per-gate serial calls
+// (every output element is one dotRow chain; see kernel.go).
+
+// Pack returns the row-wise concatenation of ms — the united matrix.
+// All inputs must share a column count; the result owns fresh storage,
+// so callers cache it and rebuild after weight mutation.
+func Pack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		Panicf("tensor: Pack of no matrices")
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			Panicf("tensor: Pack column mismatch: %d vs %d", m.Cols, cols)
+		}
+		rows += m.Rows
+	}
+	p := NewMatrix(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(p.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return p
+}
+
+// RowBlock returns rows [lo, hi) of m as a matrix view aliasing m's
+// storage (row-major rows are contiguous, so a row block is free). The
+// packed layers use this to address one gate's block of a united
+// matrix without copying.
+func (m *Matrix) RowBlock(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		Panicf("tensor: RowBlock [%d, %d) of %d rows", lo, hi, m.Rows)
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// packedRows sums the destination lengths and validates them against
+// the united matrix shape.
+func packedRows(name string, dsts []Vector, m *Matrix, x Vector) int {
+	rows := 0
+	for _, d := range dsts {
+		rows += len(d)
+	}
+	if rows != m.Rows || len(x) != m.Cols {
+		Panicf("tensor: %s shape mismatch: dsts %d rows, m %dx%d, x %d",
+			name, rows, m.Rows, m.Cols, len(x))
+	}
+	return rows
+}
+
+// PackedGemv computes the united product m · x and scatters the result
+// into the per-gate destinations: dsts[0] receives the first len(dsts[0])
+// rows, dsts[1] the next block, and so on. It is bitwise identical to
+// one serial Gemv per row block — the input vector is simply streamed
+// once over the united matrix instead of once per gate.
+func PackedGemv(dsts []Vector, m *Matrix, x Vector) {
+	packedRows("PackedGemv", dsts, m, x)
+	off := 0
+	for _, d := range dsts {
+		gemvSpan(d, m, x, off)
+		off += len(d)
+	}
+}
+
+// PackedGemvRows is PackedGemv with the paper's Dynamic Row Skip mask:
+// the destinations must all have the united matrix's segment length
+// (m.Rows / len(dsts)), and row i of every segment is skipped — set to
+// fill instead of computed — where skip[i] is true. This is the united
+// Sgemv(U_{f,i,c}, h, R) kernel with trivial rows disabled: one skip
+// decision covers the row in all gates, exactly as Algorithm 3 shares
+// o_t's triviality across U_f, U_i, U_c. A nil skip computes every row.
+func PackedGemvRows(dsts []Vector, m *Matrix, x Vector, skip []bool, fill float32) {
+	packedRows("PackedGemvRows", dsts, m, x)
+	if len(dsts) == 0 {
+		return
+	}
+	seg := len(dsts[0])
+	for _, d := range dsts {
+		if len(d) != seg {
+			Panicf("tensor: PackedGemvRows segments differ: %d vs %d", len(d), seg)
+		}
+	}
+	if skip == nil {
+		PackedGemv(dsts, m, x)
+		return
+	}
+	if len(skip) != seg {
+		Panicf("tensor: PackedGemvRows skip length %d, segment %d", len(skip), seg)
+	}
+	n := m.Cols
+	for k, d := range dsts {
+		base := k * seg
+		for i := 0; i < seg; i++ {
+			if skip[i] {
+				d[i] = fill
+				continue
+			}
+			r := base + i
+			d[i] = dotRow(m.Data[r*n:r*n+n], x)
+		}
+	}
+}
+
+// PackedGemm computes dst row t = m · xs[t] for every input vector —
+// the whole-layer united W·x stage (step 2 of Algorithm 1, where all
+// cell inputs are ready up-front): dst is a len(xs) × m.Rows row-major
+// matrix whose row t is the united gate pre-activation of cell t. Large
+// shapes fan the independent t rows out over the parallel worker shards
+// (see parallel.go); each row is one gemvSpan, so the result is bitwise
+// identical to len(xs) serial Gemv calls at any GOMAXPROCS.
+func PackedGemm(dst *Matrix, m *Matrix, xs []Vector) {
+	if dst.Rows != len(xs) || dst.Cols != m.Rows {
+		Panicf("tensor: PackedGemm shape mismatch: dst %dx%d, m %dx%d, %d inputs",
+			dst.Rows, dst.Cols, m.Rows, m.Cols, len(xs))
+	}
+	for _, x := range xs {
+		if len(x) != m.Cols {
+			Panicf("tensor: PackedGemm input length %d, m cols %d", len(x), m.Cols)
+		}
+	}
+	forkJoin(len(xs), len(xs)*m.Rows*m.Cols, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			gemvSpan(dst.Row(t), m, xs[t], 0)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"mobilstm/internal/rng"
+)
+
+// The equivalence contract of the united-gate kernels: packed and
+// parallel results must be BITWISE identical to the serial per-gate
+// calls — not merely close. The lstm/gru hot paths route every shape
+// through these kernels, so one flipped bit here would silently change
+// every accuracy table downstream.
+
+// atGOMAXPROCS runs fn at each of the given GOMAXPROCS settings,
+// restoring the original value afterwards. Oversubscription (more Ps
+// than cores) is legal, so the parallel shards genuinely interleave
+// even on a single-core runner.
+func atGOMAXPROCS(t *testing.T, procs []int, fn func(t *testing.T)) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fn(t)
+	}
+}
+
+// packedShapes are deliberately awkward: odd segment sizes, columns
+// around the 4-lane unroll boundary, single-row segments.
+var packedShapes = []struct{ seg, cols, gates int }{
+	{1, 1, 2},
+	{3, 5, 4},
+	{7, 13, 3},
+	{17, 16, 4},
+	{33, 129, 3},
+	{64, 96, 4},
+}
+
+func TestPackedGemvBitwiseEqualsPerGateGemv(t *testing.T) {
+	r := rng.New(0x41)
+	for _, sh := range packedShapes {
+		gates := make([]*Matrix, sh.gates)
+		for g := range gates {
+			gates[g] = randMatrix(r, sh.seg, sh.cols)
+		}
+		united := Pack(gates...)
+		x := randVector(r, sh.cols)
+
+		dsts := make([]Vector, sh.gates)
+		want := make([]Vector, sh.gates)
+		for g := range dsts {
+			dsts[g] = NewVector(sh.seg)
+			want[g] = NewVector(sh.seg)
+			Gemv(want[g], gates[g], x)
+		}
+		PackedGemv(dsts, united, x)
+		for g := range dsts {
+			for i := range dsts[g] {
+				if dsts[g][i] != want[g][i] {
+					t.Fatalf("shape %v gate %d row %d: packed %v != serial %v",
+						sh, g, i, dsts[g][i], want[g][i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedGemvRowsBitwiseEqualsGemvRows(t *testing.T) {
+	r := rng.New(0x42)
+	for _, sh := range packedShapes {
+		gates := make([]*Matrix, sh.gates)
+		for g := range gates {
+			gates[g] = randMatrix(r, sh.seg, sh.cols)
+		}
+		united := Pack(gates...)
+		x := randVector(r, sh.cols)
+		skip := make([]bool, sh.seg)
+		for i := range skip {
+			skip[i] = r.Bernoulli(0.4)
+		}
+		const fill = -7.5
+
+		dsts := make([]Vector, sh.gates)
+		want := make([]Vector, sh.gates)
+		for g := range dsts {
+			dsts[g] = NewVector(sh.seg)
+			want[g] = NewVector(sh.seg)
+			GemvRows(want[g], gates[g], x, skip, fill)
+		}
+		PackedGemvRows(dsts, united, x, skip, fill)
+		for g := range dsts {
+			for i := range dsts[g] {
+				if dsts[g][i] != want[g][i] {
+					t.Fatalf("shape %v gate %d row %d: packed %v != serial %v",
+						sh, g, i, dsts[g][i], want[g][i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedGemvRowsNilSkipEqualsPackedGemv(t *testing.T) {
+	r := rng.New(0x43)
+	m := randMatrix(r, 3*7, 11)
+	x := randVector(r, 11)
+	a := []Vector{NewVector(7), NewVector(7), NewVector(7)}
+	b := []Vector{NewVector(7), NewVector(7), NewVector(7)}
+	PackedGemv(a, m, x)
+	PackedGemvRows(b, m, x, nil, 0)
+	for g := range a {
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				t.Fatalf("gate %d row %d: %v != %v", g, i, a[g][i], b[g][i])
+			}
+		}
+	}
+}
+
+func TestPackedGemmBitwiseEqualsGemvAtAnyGOMAXPROCS(t *testing.T) {
+	r := rng.New(0x44)
+	// Big enough to cross the parallel gate, odd enough to stress the
+	// shard remainders.
+	const rows, cols, inputs = 133, 67, 29
+	m := randMatrix(r, rows, cols)
+	xs := make([]Vector, inputs)
+	want := make([]Vector, inputs)
+	for t2 := range xs {
+		xs[t2] = randVector(r, cols)
+		want[t2] = NewVector(rows)
+		Gemv(want[t2], m, xs[t2])
+	}
+	atGOMAXPROCS(t, []int{1, 2, 8}, func(t *testing.T) {
+		dst := NewMatrix(inputs, rows)
+		PackedGemm(dst, m, xs)
+		for t2 := range xs {
+			row := dst.Row(t2)
+			for i := range row {
+				if row[i] != want[t2][i] {
+					t.Fatalf("GOMAXPROCS %d input %d row %d: %v != %v",
+						runtime.GOMAXPROCS(0), t2, i, row[i], want[t2][i])
+				}
+			}
+		}
+	})
+}
+
+func TestParallelGemvBitwiseEqualsGemvProperty(t *testing.T) {
+	r := rng.New(0x45)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		// Shapes straddle the size gate: some serial, some sharded.
+		rows := 1 + rr.Intn(600)
+		cols := 1 + rr.Intn(300)
+		m := randMatrix(rr, rows, cols)
+		x := randVector(rr, cols)
+		want := NewVector(rows)
+		Gemv(want, m, x)
+		got := NewVector(rows)
+		ParallelGemv(got, m, x)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	atGOMAXPROCS(t, []int{1, 2, 8}, func(t *testing.T) {
+		cfg := &quick.Config{MaxCount: 25, Values: quickSeed(r)}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("GOMAXPROCS %d: %v", runtime.GOMAXPROCS(0), err)
+		}
+	})
+}
+
+func TestParallelGemmBitwiseEqualsGemm(t *testing.T) {
+	r := rng.New(0x46)
+	for _, sh := range [][3]int{{1, 1, 1}, {5, 3, 7}, {130, 70, 40}, {257, 129, 65}} {
+		a := randMatrix(r, sh[0], sh[1])
+		b := randMatrix(r, sh[1], sh[2])
+		want := NewMatrix(sh[0], sh[2])
+		Gemm(want, a, b)
+		atGOMAXPROCS(t, []int{1, 2, 8}, func(t *testing.T) {
+			got := NewMatrix(sh[0], sh[2])
+			ParallelGemm(got, a, b)
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("GOMAXPROCS %d shape %v elem %d: %v != %v",
+						runtime.GOMAXPROCS(0), sh, i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGemvRowsNilSkipBitwiseEqualsGemv(t *testing.T) {
+	r := rng.New(0x47)
+	for _, sh := range [][2]int{{1, 1}, {9, 7}, {33, 130}} {
+		m := randMatrix(r, sh[0], sh[1])
+		x := randVector(r, sh[1])
+		a, b := NewVector(sh[0]), NewVector(sh[0])
+		Gemv(a, m, x)
+		GemvRows(b, m, x, nil, -1)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shape %v row %d: %v != %v", sh, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPackValidatesAndConcatenates(t *testing.T) {
+	r := rng.New(0x48)
+	a := randMatrix(r, 2, 3)
+	b := randMatrix(r, 4, 3)
+	p := Pack(a, b)
+	if p.Rows != 6 || p.Cols != 3 {
+		t.Fatalf("packed shape %dx%d, want 6x3", p.Rows, p.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("pack block a mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(2+i, j) != b.At(i, j) {
+				t.Fatalf("pack block b mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on column mismatch")
+		}
+	}()
+	Pack(a, NewMatrix(2, 4))
+}
+
+func TestRowBlockAliasesStorage(t *testing.T) {
+	m := NewMatrix(6, 3)
+	blk := m.RowBlock(2, 5)
+	if blk.Rows != 3 || blk.Cols != 3 {
+		t.Fatalf("block shape %dx%d, want 3x3", blk.Rows, blk.Cols)
+	}
+	m.Set(2, 1, 42)
+	if blk.At(0, 1) != 42 {
+		t.Fatal("RowBlock does not alias the parent storage")
+	}
+}
+
+func TestPackedShapePanics(t *testing.T) {
+	m := NewMatrix(8, 4)
+	for name, fn := range map[string]func(){
+		"dst rows":   func() { PackedGemv([]Vector{NewVector(3)}, m, NewVector(4)) },
+		"x cols":     func() { PackedGemv([]Vector{NewVector(8)}, m, NewVector(5)) },
+		"seg differ": func() { PackedGemvRows([]Vector{NewVector(3), NewVector(5)}, m, NewVector(4), nil, 0) },
+		"skip len":   func() { PackedGemvRows([]Vector{NewVector(4), NewVector(4)}, m, NewVector(4), make([]bool, 3), 0) },
+		"gemm dst":   func() { PackedGemm(NewMatrix(2, 7), m, []Vector{NewVector(4), NewVector(4)}) },
+		"gemm x":     func() { PackedGemm(NewMatrix(2, 8), m, []Vector{NewVector(4), NewVector(3)}) },
+		"rowblock":   func() { m.RowBlock(3, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,11 +1,25 @@
 // Package tensor implements the dense float32 linear algebra used by the
-// LSTM library: vectors, row-major matrices, blocked and parallel
-// GEMM/GEMV, and the activation functions from the paper (sigmoid, hard
+// LSTM library: vectors, row-major matrices, the GEMV/GEMM kernel
+// family, and the activation functions from the paper (sigmoid, hard
 // sigmoid, tanh).
+//
+// The kernels come in three tiers sharing one inner accumulation chain
+// (kernel.go), so they are bitwise interchangeable:
+//
+//   - serial: Gemv, GemvRows (DRS skip mask), Gemm — every output row
+//     is one 16-lane dot-product chain (kernel.go's dotRowGeneric,
+//     carried in SSE2 assembly on amd64);
+//   - packed (packed.go): Pack/PackedGemv/PackedGemvRows/PackedGemm
+//     over a row-wise united gate matrix (the paper's U_{f,i,c,o}),
+//     streaming the input once per cell instead of once per gate;
+//   - parallel (parallel.go): ParallelGemv/ParallelGemm, row-sharded
+//     over a size-gated fork-join pool, bitwise identical to the
+//     serial kernels at any GOMAXPROCS.
 //
 // The package is deliberately small and allocation-conscious: LSTM
 // inference is a long sequence of GEMV/GEMM calls over the same shapes, so
-// every operation writes into a caller-provided destination.
+// every operation writes into a caller-provided destination and no kernel
+// allocates.
 package tensor
 
 // Vector is a dense float32 vector.
@@ -65,36 +79,23 @@ func (m *Matrix) Clone() *Matrix {
 func (m *Matrix) SizeBytes() int64 { return int64(m.Rows) * int64(m.Cols) * 4 }
 
 // Gemv computes dst = m · x. dst must have length m.Rows and x length
-// m.Cols. The inner loop is unrolled by four to keep the pure-Go
-// implementation within a small factor of what the memory system allows.
+// m.Cols. Rows run through the shared dotRow kernel: sixteen
+// independent accumulation lanes, computed four-at-a-time by packed
+// SSE2 on amd64 and by the bitwise-identical pure-Go chain elsewhere.
 func Gemv(dst Vector, m *Matrix, x Vector) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		Panicf("tensor: Gemv shape mismatch: dst %d, m %dx%d, x %d",
 			len(dst), m.Rows, m.Cols, len(x))
 	}
-	n := m.Cols
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*n : i*n+n]
-		var s0, s1, s2, s3 float32
-		j := 0
-		for ; j+4 <= n; j += 4 {
-			s0 += row[j] * x[j]
-			s1 += row[j+1] * x[j+1]
-			s2 += row[j+2] * x[j+2]
-			s3 += row[j+3] * x[j+3]
-		}
-		s := s0 + s1 + s2 + s3
-		for ; j < n; j++ {
-			s += row[j] * x[j]
-		}
-		dst[i] = s
-	}
+	gemvSpan(dst, m, x, 0)
 }
 
 // GemvRows computes dst[i] = m.Row(i) · x only for rows i where
 // skip[i] == false; skipped rows of dst are set to fill. skip may be nil,
 // in which case all rows are computed. This is the numeric counterpart of
 // the paper's Sgemv(U_{f,i,c}, h, R) kernel with trivial rows disabled.
+// Computed rows use the same dotRow chain as Gemv, so a nil-skip
+// GemvRows is bitwise identical to Gemv.
 func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, fill float32) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		Panicf("tensor: GemvRows shape mismatch: dst %d, m %dx%d, x %d",
@@ -103,19 +104,17 @@ func GemvRows(dst Vector, m *Matrix, x Vector, skip []bool, fill float32) {
 	if skip != nil && len(skip) != m.Rows {
 		Panicf("tensor: GemvRows skip length mismatch")
 	}
+	if skip == nil {
+		gemvSpan(dst, m, x, 0)
+		return
+	}
 	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
-		if skip != nil && skip[i] {
+		if skip[i] {
 			dst[i] = fill
 			continue
 		}
-		row := m.Data[i*n : i*n+n]
-		var s float32
-		for j, r := range row {
-			s += r * x[j]
-		}
-		_ = n
-		dst[i] = s
+		dst[i] = dotRow(m.Data[i*n:i*n+n], x)
 	}
 }
 
@@ -126,23 +125,7 @@ func Gemm(dst, a, b *Matrix) {
 		Panicf("tensor: Gemm shape mismatch: dst %dx%d, a %dx%d, b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
-	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		drow := dst.Data[i*n : i*n+n]
-		for k := 0; k < a.Cols; k++ {
-			aik := a.At(i, k)
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[k*n : k*n+n]
-			for j, bv := range brow {
-				drow[j] += aik * bv
-			}
-		}
-	}
+	gemmRange(dst, a, b, 0, a.Rows)
 }
 
 // Axpy computes dst[i] += alpha * x[i].
