@@ -40,6 +40,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		disable = fs.String("disable", "", "comma-separated analyzers to skip")
 		list    = fs.Bool("list", false, "list registered analyzers and exit")
 		tests   = fs.Bool("tests", true, "also analyze _test.go packages (test-scoped analyzers only)")
+		stale   = fs.Bool("stale", true, "report lint:ignore directives that no longer suppress any finding")
+		sumOut  = fs.String("summaries", "", "write the interprocedural function summaries to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,7 +80,21 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	findings := analysis.Analyze(pkgs, analyzers)
+	cache := analysis.NewSummaryCache()
+	findings := analysis.AnalyzeOptions(pkgs, analyzers, analysis.Options{Stale: *stale, Cache: cache})
+	if *sumOut != "" {
+		// The cache is warm from the analysis run, so this renders the
+		// already-computed summaries instead of recomputing them.
+		data, err := analysis.DumpSummaries(pkgs, cache)
+		if err != nil {
+			fmt.Fprintln(stderr, "mobilstm-lint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sumOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "mobilstm-lint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

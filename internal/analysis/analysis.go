@@ -87,14 +87,34 @@ func Lookup(name string) *Analyzer {
 	return nil
 }
 
+// Options configures an Analyze run.
+type Options struct {
+	// Stale reports every lint:ignore directive that no longer
+	// suppresses any finding, as analyzer "stale" at the directive's
+	// position. A directive is exempt when an analyzer it names was not
+	// part of the run (a "*" directive requires the full registry), so
+	// partial runs don't cry stale over suppressions they cannot judge.
+	Stale bool
+	// Cache carries interprocedural summaries across runs, keyed by
+	// package source fingerprints. Nil uses the process-wide default.
+	Cache *SummaryCache
+}
+
 // Analyze runs the given analyzers over the packages, applies
 // lint:ignore suppressions, and returns the surviving findings sorted
-// by position. Malformed directives surface as findings themselves.
+// by position. Malformed directives surface as findings themselves,
+// and stale suppressions are reported by default.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return AnalyzeOptions(pkgs, analyzers, Options{Stale: true})
+}
+
+// AnalyzeOptions is Analyze with explicit options.
+func AnalyzeOptions(pkgs []*Package, analyzers []*Analyzer, opts Options) []Finding {
 	var findings []Finding
 	var sups []suppression
+	prog := newProgram(pkgs, opts.Cache)
 	for _, pkg := range pkgs {
-		pass := &Pass{Pkg: pkg}
+		pass := &Pass{Pkg: pkg, prog: prog}
 		for _, a := range analyzers {
 			if pkg.ForTest != "" && !a.Tests {
 				continue
@@ -102,10 +122,16 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			findings = append(findings, a.Run(pass)...)
 		}
 		s, malformed := collectSuppressions(pkg.Fset, pkg.Files)
+		for i := range s {
+			s[i].fromTests = pkg.ForTest != ""
+		}
 		sups = append(sups, s...)
 		findings = append(findings, malformed...)
 	}
 	findings = filterSuppressed(findings, sups)
+	if opts.Stale {
+		findings = append(findings, staleFindings(sups, analyzers)...)
+	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -128,6 +154,9 @@ type suppression struct {
 	analyzers []string // names, or ["*"]
 	line      int      // effective target line; 0 for file-wide
 	wholeFile bool
+	pos       token.Position // the directive itself, for stale reporting
+	fromTests bool           // collected from a _test.go package
+	matched   bool           // suppressed at least one finding this run
 }
 
 func (s suppression) covers(f Finding) bool {
@@ -197,6 +226,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression,
 					file:      pos.Filename,
 					analyzers: strings.Split(parts[0], ","),
 					wholeFile: wholeFile,
+					pos:       pos,
 				}
 				if !wholeFile {
 					s.line = pos.Line
@@ -211,6 +241,8 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression,
 	return sups, malformed
 }
 
+// filterSuppressed drops covered findings and marks every suppression
+// that matched at least one, so staleFindings can report the rest.
 func filterSuppressed(findings []Finding, sups []suppression) []Finding {
 	if len(sups) == 0 {
 		return findings
@@ -218,10 +250,10 @@ func filterSuppressed(findings []Finding, sups []suppression) []Finding {
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
-		for _, s := range sups {
-			if s.covers(f) {
+		for i := range sups {
+			if sups[i].covers(f) {
+				sups[i].matched = true
 				suppressed = true
-				break
 			}
 		}
 		if !suppressed {
@@ -229,4 +261,65 @@ func filterSuppressed(findings []Finding, sups []suppression) []Finding {
 		}
 	}
 	return kept
+}
+
+// staleFindings reports every suppression that matched nothing, when
+// the run was able to judge it: each named analyzer ran (on the kind of
+// package the directive lives in), and a "*" directive requires the
+// full registry. "ignore" and "stale" are driver-produced and always
+// judgeable.
+func staleFindings(sups []suppression, ran []*Analyzer) []Finding {
+	ranByName := map[string]*Analyzer{}
+	for _, a := range ran {
+		ranByName[a.Name] = a
+	}
+	fullRegistry := true
+	for _, a := range All() {
+		if ranByName[a.Name] == nil {
+			fullRegistry = false
+			break
+		}
+	}
+	var out []Finding
+	for i := range sups {
+		s := &sups[i]
+		if s.matched || !staleEligible(s, ranByName, fullRegistry) {
+			continue
+		}
+		directive := ignorePrefix
+		if s.wholeFile {
+			directive = fileIgnorePrefix
+		}
+		out = append(out, Finding{
+			Analyzer: "stale",
+			Pos:      s.pos,
+			Message: fmt.Sprintf("%s %s no longer suppresses any finding; remove it",
+				strings.TrimPrefix(directive, "//"), strings.Join(s.analyzers, ",")),
+		})
+	}
+	return out
+}
+
+func staleEligible(s *suppression, ran map[string]*Analyzer, fullRegistry bool) bool {
+	for _, name := range s.analyzers {
+		switch name {
+		case "*":
+			if !fullRegistry {
+				return false
+			}
+		case "ignore", "stale":
+			// driver findings: always produced, always judgeable
+		default:
+			a := ran[name]
+			if a == nil {
+				return false
+			}
+			// A directive in a test file is only judgeable by analyzers
+			// that run on test packages.
+			if s.fromTests && !a.Tests {
+				return false
+			}
+		}
+	}
+	return true
 }

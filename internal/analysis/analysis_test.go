@@ -59,7 +59,7 @@ func wantLines(t *testing.T, findings []Finding, analyzer string, lines ...int) 
 }
 
 func TestRegistryHasAllAnalyzers(t *testing.T) {
-	want := []string{"float64leak", "globalrand", "locklint", "maporder", "panicpolicy", "shapecheck", "threshconst"}
+	want := []string{"arenaescape", "float64leak", "globalrand", "invalidatecheck", "locklint", "maporder", "panicpolicy", "shapecheck", "threshconst"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
@@ -171,6 +171,50 @@ func a() { panic("a") }
 	if got[0].Pos.Line != 3 || got[1].Pos.Line != 5 {
 		t.Errorf("findings not position-sorted: %v", got)
 	}
+}
+
+func TestStaleSuppressionReported(t *testing.T) {
+	src := `package foo
+
+func a() {
+	//lint:ignore panicpolicy fixture: matches a finding
+	panic("a")
+}
+
+func b(n int) int {
+	//lint:ignore panicpolicy fixture: nothing here fires
+	return n + 1
+}
+
+func c(n int) int {
+	//lint:ignore globalrand fixture: analyzer absent from this run
+	return n + 1
+}
+`
+	pkg := parseFixture(t, "mobilstm/internal/foo", "internal/foo/foo.go", src)
+	// b's directive suppresses nothing and panicpolicy ran: stale.
+	// a's matched; c names an analyzer outside the run: exempt.
+	got := Analyze([]*Package{pkg}, []*Analyzer{Lookup("panicpolicy")})
+	wantLines(t, got, "stale", 9)
+	if got := AnalyzeOptions([]*Package{pkg}, []*Analyzer{Lookup("panicpolicy")}, Options{}); len(got) != 0 {
+		t.Fatalf("Stale:false must not report stale directives, got %v", got)
+	}
+}
+
+func TestStaleStarRequiresFullRegistry(t *testing.T) {
+	src := `package foo
+
+func a(n int) int {
+	//lint:ignore * fixture: blanket directive with nothing to suppress
+	return n + 1
+}
+`
+	pkg := parseFixture(t, "mobilstm/internal/foo", "internal/foo/foo.go", src)
+	if got := Analyze([]*Package{pkg}, []*Analyzer{Lookup("panicpolicy")}); len(got) != 0 {
+		t.Fatalf("a * directive is unjudgeable under a partial run, got %v", got)
+	}
+	got := Analyze([]*Package{pkg}, All())
+	wantLines(t, got, "stale", 4)
 }
 
 func TestNewLoaderFindsModule(t *testing.T) {

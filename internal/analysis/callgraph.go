@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the package-level call graph the summary engine runs
+// its fixpoint over. The graph is per package: cross-package edges need
+// no cycle handling because Go's import graph is acyclic, so a callee in
+// another package always has its summaries fully computed (on demand)
+// before the caller's package starts. Within a package, mutual recursion
+// is real, and Tarjan's algorithm groups the declarations into strongly
+// connected components emitted callees-first — exactly the order the
+// fixpoint wants.
+
+// funcInfo is one function declaration node of the call graph.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	// callees are the same-package functions this body may invoke,
+	// including functions merely referenced as values (a conservative
+	// edge: a stored function value can be called later).
+	callees []*funcInfo
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// callGraph is the same-package call graph of one loaded package.
+type callGraph struct {
+	nodes []*funcInfo
+	byObj map[*types.Func]*funcInfo
+}
+
+// buildCallGraph indexes every function declaration of pkg and records
+// same-package call edges. Function literals are not separate nodes:
+// their bodies belong to the enclosing declaration, so references inside
+// them become edges of that declaration (which is what the summary
+// fixpoint needs for termination; their facts are not summarized).
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{byObj: map[*types.Func]*funcInfo{}}
+	if pkg.Info == nil {
+		return g
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj, decl: fd, index: -1}
+			g.nodes = append(g.nodes, fi)
+			g.byObj[obj] = fi
+		}
+	}
+	for _, fi := range g.nodes {
+		seen := map[*funcInfo]bool{}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if callee, ok := g.byObj[obj]; ok && !seen[callee] {
+				seen[callee] = true
+				fi.callees = append(fi.callees, callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// sccs returns the strongly connected components of the graph in
+// reverse topological order of the condensation: every component is
+// emitted after all components it calls into, so processing the slice
+// front-to-back sees callees before callers.
+func (g *callGraph) sccs() [][]*funcInfo {
+	var (
+		out     [][]*funcInfo
+		stack   []*funcInfo
+		counter int
+	)
+	var strongconnect func(v *funcInfo)
+	strongconnect = func(v *funcInfo) {
+		v.index = counter
+		v.lowlink = counter
+		counter++
+		stack = append(stack, v)
+		v.onStack = true
+		for _, w := range v.callees {
+			if w.index < 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var comp []*funcInfo
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.nodes {
+		if v.index < 0 {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// recursive reports whether the component calls back into itself — a
+// multi-member SCC, or a single function with a self edge.
+func recursive(comp []*funcInfo) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	for _, w := range comp[0].callees {
+		if w == comp[0] {
+			return true
+		}
+	}
+	return false
+}

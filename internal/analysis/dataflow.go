@@ -29,6 +29,14 @@ import (
 // one reporting pass runs with the widened environment. Function
 // literals are interpreted separately with fresh environments.
 
+// callResultClient is an optional dfClient extension: a client that can
+// derive per-result facts for a multi-value call (x, y := f(...)) from
+// interprocedural summaries. Returning nil means "no facts" and the
+// walker falls back to killing every LHS.
+type callResultClient interface {
+	evalCallResults(ev *env, call *ast.CallExpr, n int) []any
+}
+
 // dfClient is the fact domain plugged into the dataflow walker.
 type dfClient interface {
 	// evalExpr derives the fact for an expression that is not bound in
@@ -153,6 +161,19 @@ func runDataflow(pass *Pass, files []*ast.File, client dfClient) {
 	}
 }
 
+// runDataflowFunc interprets a single function body (plus any function
+// literals it schedules). Summary extraction uses it to analyze one
+// declaration at a time instead of whole files.
+func runDataflowFunc(pass *Pass, body *ast.BlockStmt, client dfClient) {
+	w := &dfWalker{pass: pass, client: client}
+	w.funcBody(body)
+	for len(w.queue) > 0 {
+		fl := w.queue[0]
+		w.queue = w.queue[1:]
+		w.funcBody(fl.Body)
+	}
+}
+
 func (w *dfWalker) funcBody(body *ast.BlockStmt) {
 	w.reporting = true
 	w.stmt(w.newEnv(), body)
@@ -178,8 +199,12 @@ func (w *dfWalker) stmt(ev *env, s ast.Stmt) {
 	case *ast.DeclStmt:
 		w.declStmt(ev, s)
 	case *ast.ReturnStmt:
+		// The whole statement is handed to the client so summary
+		// extraction can see returns with the environment in force;
+		// inspection still reaches every result expression.
+		w.checkNode(ev, s)
 		for _, r := range s.Results {
-			w.checkExpr(ev, r)
+			w.killAddrOf(ev, r)
 		}
 	case *ast.IfStmt:
 		w.stmt(ev, s.Init)
@@ -297,8 +322,14 @@ func (w *dfWalker) assignStmt(ev *env, s *ast.AssignStmt) {
 			for i, lh := range s.Lhs {
 				w.bind(ev, lh, vals[i])
 			}
+		} else if vals, ok := w.callResults(ev, s.Rhs, len(s.Lhs)); ok {
+			// Multi-value assignment from a call whose callee has a
+			// summary: bind each LHS to the summarized result fact.
+			for i, lh := range s.Lhs {
+				w.bind(ev, lh, vals[i])
+			}
 		} else {
-			// Multi-value assignment from a call: no facts survive.
+			// Multi-value assignment with no summary: no facts survive.
 			for _, lh := range s.Lhs {
 				w.kill(ev, lh)
 			}
@@ -310,6 +341,27 @@ func (w *dfWalker) assignStmt(ev *env, s *ast.AssignStmt) {
 		combined := w.client.merge(ev.eval(s.Lhs[0]), ev.eval(s.Rhs[0]))
 		w.bind(ev, s.Lhs[0], combined)
 	}
+}
+
+// callResults asks a summary-capable client for the per-result facts of
+// a single multi-value call on the RHS of an assignment.
+func (w *dfWalker) callResults(ev *env, rhs []ast.Expr, n int) ([]any, bool) {
+	if len(rhs) != 1 {
+		return nil, false
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	cc, ok := w.client.(callResultClient)
+	if !ok {
+		return nil, false
+	}
+	vals := cc.evalCallResults(ev, call, n)
+	if len(vals) != n {
+		return nil, false
+	}
+	return vals, true
 }
 
 func (w *dfWalker) declStmt(ev *env, s *ast.DeclStmt) {
@@ -328,6 +380,10 @@ func (w *dfWalker) declStmt(ev *env, s *ast.DeclStmt) {
 		if len(vs.Values) == len(vs.Names) {
 			for i, name := range vs.Names {
 				w.bind(ev, name, ev.eval(vs.Values[i]))
+			}
+		} else if vals, ok := w.callResults(ev, vs.Values, len(vs.Names)); ok {
+			for i, name := range vs.Names {
+				w.bind(ev, name, vals[i])
 			}
 		} else {
 			for _, name := range vs.Names {

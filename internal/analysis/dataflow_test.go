@@ -78,6 +78,9 @@ func (b *Builder) SgemvUfic(h, skipRows int, mode DRSMode) KernelSpec    { retur
 func (b *Builder) SgemmTissueUfic(h, t, skipRows int) (KernelSpec, bool) { return KernelSpec{}, true }
 func (b *Builder) SgemmWx(h, e, n int) KernelSpec                        { return KernelSpec{} }
 func (b *Builder) RequestBatch(h, length, layers, batch int) []KernelSpec { return nil }
+func (b *Builder) GRUDRS(h, trivial int) KernelSpec                       { return KernelSpec{} }
+func (b *Builder) GRUSgemvUh(h, skipRows int, mode DRSMode) KernelSpec    { return KernelSpec{} }
+func (b *Builder) GRUSgemmWx(h, e, n int) KernelSpec                      { return KernelSpec{} }
 `
 
 // reportStub is a miniature mobilstm/internal/report for maporder
@@ -334,6 +337,18 @@ func TestShapeCheckTable(t *testing.T) {
 			want: []int{9},
 		},
 		{
+			name: "facts reach uses inside nested loops, reported once",
+			body: `
+	U := tensor.NewMatrix(4*h, h)
+	hv := tensor.NewVector(h)
+	for t := 0; t < e; t++ {
+		for s := 0; s < e; s++ {
+			tensor.Gemv(hv, U, hv)
+		}
+	}`,
+			want: []int{10},
+		},
+		{
 			name: "united pack pipeline stays clean",
 			body: `
 	Wf := tensor.NewMatrix(h, e)
@@ -486,6 +501,19 @@ func TestFloat64LeakTaintTable(t *testing.T) {
 	y := 1.0
 	for i := 0; i < n; i++ {
 		_ = y + vals[i]
+		y = float64(x)
+	}
+	return 0`,
+			want: []int{7},
+		},
+		{
+			name: "taint from an outer iteration reaches nested loops",
+			body: `
+	y := 1.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			_ = y * 2
+		}
 		y = float64(x)
 	}
 	return 0`,
@@ -790,4 +818,25 @@ func f(b *kernels.Builder, h int) {
 	if got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {
 		t.Fatalf("legal and unknown kernel dims must pass: %v", got)
 	}
+}
+
+func TestShapeCheckGRUKernelContracts(t *testing.T) {
+	// The GRU cost constructors carry the same contract shape as the
+	// LSTM ones: trivial/skip row counts bounded by h, literal dims >= 1.
+	// The last three calls are legal and must stay silent.
+	src := `package bad
+
+import "mobilstm/internal/kernels"
+
+func f(b *kernels.Builder, h int) {
+	b.GRUDRS(h, 2*h)
+	b.GRUSgemvUh(h, 2*h, 0)
+	b.GRUSgemmWx(0, h, 16)
+	b.GRUDRS(h, h)
+	b.GRUSgemvUh(h, h, 0)
+	b.GRUSgemmWx(h, h, 16)
+}
+`
+	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "shapecheck", 6, 7, 8)
 }

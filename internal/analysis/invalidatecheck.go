@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// invalidatecheck guards the packed-weight cache coherence contract
+// behind the united-gate hot path: layer weights (W_f/W_i/W_c/W_o, the
+// U matrices, and their GRU counterparts) are packed once into a united
+// matrix cached behind an atomic pointer, so any mutation of a weight
+// field must be followed by Invalidate() on every path to return —
+// otherwise a later Run serves stale packed weights.
+//
+// The check is interprocedural through the summary engine: a helper
+// that mutates a parameter's weights and guarantees Invalidate on every
+// path (initLayer's defer l.Invalidate()) discharges the obligation for
+// its callers; a helper that mutates without invalidating transfers the
+// obligation to each call site, where this analyzer requires a local
+// Invalidate on every path after the call. A mutation of a parameter's
+// weights left pending at return is reported only for exported
+// functions — unexported mutators are wrapper-verified at their
+// (analyzable) call sites instead, while an exported one hands the
+// obligation to callers outside the analyzed world.
+func init() {
+	Register(&Analyzer{
+		Name: "invalidatecheck",
+		Doc:  "weight-field mutations must reach Invalidate() on every path before returning",
+		Run:  runInvalidateCheck,
+	})
+}
+
+func runInvalidateCheck(pass *Pass) []Finding {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, checkInvalidate(pass, fd)...)
+		}
+	}
+	return findings
+}
+
+func checkInvalidate(pass *Pass, fd *ast.FuncDecl) []Finding {
+	// The Invalidate method is the discharge mechanism itself; writes to
+	// cache fields inside it (also matrix-typed) are not weight updates.
+	if fd.Recv != nil && fd.Name.Name == "Invalidate" {
+		return nil
+	}
+	params := declParams(pass, fd)
+	fw := newFactsWalker(pass, fd, params)
+	fw.run()
+	exported := fd.Name.IsExported()
+	var out []Finding
+	for _, L := range fw.mutatedOrder {
+		if fw.allPathsInvalidated(L) {
+			continue
+		}
+		// A pending mutation of a parameter's weights transfers to
+		// callers through the function summary (wrapper discipline),
+		// unless the function is exported and unknown callers inherit an
+		// uncheckable obligation.
+		if L.obj != nil && paramIndexOf(params, L.obj) >= 0 && !exported {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "invalidatecheck",
+			Pos:      pass.Position(fw.mutated[L]),
+			Message: fmt.Sprintf(
+				"weight fields of %s are mutated without a guaranteed %s.Invalidate() before return (stale packed cache)",
+				refName(L), refName(L)),
+		})
+	}
+	return out
+}
+
+// declParams returns the receiver-first parameter variables of a
+// function declaration, or nil when type information is missing.
+func declParams(pass *Pass, fd *ast.FuncDecl) []*types.Var {
+	obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return paramVarsOf(sig)
+}
+
+func paramIndexOf(params []*types.Var, obj types.Object) int {
+	for i, p := range params {
+		if obj == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// refName renders a storage location for a finding message.
+func refName(r ref) string {
+	if r.obj != nil {
+		return r.obj.Name()
+	}
+	if r.canon != "" {
+		return r.canon
+	}
+	return "the layer"
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import "testing"
+
+// TestInvalidateCheckSeededViolations runs the analyzer over a layer
+// fixture that mirrors lstm.Layer: a named struct with weight fields
+// and an Invalidate method. Expected findings, in order:
+//
+//	line 14 — Scale (exported) mutates without any Invalidate
+//	line 36 — Leaky invalidates on only one branch
+//	line 50 — WrappedBad calls an unexported mutator and never settles
+//	          the inherited obligation
+//
+// scale (unexported, mutates a parameter) is silent: the obligation
+// transfers to its callers via the summary, which is how Wrapped stays
+// clean and WrappedBad gets flagged at the call site.
+func TestInvalidateCheckSeededViolations(t *testing.T) {
+	src := `package fix
+
+import "mobilstm/internal/tensor"
+
+type layer struct {
+	Wf     *tensor.Matrix
+	packed *tensor.Matrix
+}
+
+func (l *layer) Invalidate() { l.packed = nil }
+
+func Scale(l *layer, s float32) {
+	for i := range l.Wf.Data {
+		l.Wf.Data[i] *= s
+	}
+}
+
+func ScaleGood(l *layer, s float32) {
+	defer l.Invalidate()
+	for i := range l.Wf.Data {
+		l.Wf.Data[i] *= s
+	}
+}
+
+func Branchy(l *layer, s float32, big bool) {
+	if big {
+		l.Wf.Data[0] = s
+		l.Invalidate()
+		return
+	}
+	l.Wf.Data[0] = -s
+	l.Invalidate()
+}
+
+func Leaky(l *layer, s float32, big bool) {
+	l.Wf.Data[0] = s
+	if big {
+		l.Invalidate()
+	}
+}
+
+func scale(l *layer, s float32) { l.Wf.Data[0] = s }
+
+func Wrapped(l *layer, s float32) {
+	scale(l, s)
+	l.Invalidate()
+}
+
+func WrappedBad(l *layer, s float32) {
+	scale(l, s)
+}
+`
+	got := runFixtureWith(t, Lookup("invalidatecheck"), "mobilstm/internal/fix", "internal/fix/fix.go", src)
+	wantLines(t, got, "invalidatecheck", 14, 36, 50)
+}

@@ -80,6 +80,16 @@ var kernelContracts = map[string][]kernelArg{
 	// gates of the 4h united matrix).
 	"SgemvUfic":       {{index: 1, name: "skipRows", bounded: true, baseArg: 0, scale: 3}},
 	"SgemmTissueUfic": {{index: 2, name: "skipRows", bounded: true, baseArg: 0, scale: 3}},
+	// GRU variants: the per-gate z/r skip and the candidate-gate row
+	// skip each cover a single h-row gate (scale 1), unlike the LSTM's
+	// three-gate united bound.
+	"GRUDRS":     {{index: 1, name: "trivial", bounded: true, baseArg: 0, scale: 1}},
+	"GRUSgemvUh": {{index: 1, name: "skipRows", bounded: true, baseArg: 0, scale: 1}},
+	"GRUSgemmWx": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "e", minLit: 1},
+		{index: 2, name: "n", minLit: 1},
+	},
 	// Shape arguments that must be at least one.
 	"SgemmWx": {
 		{index: 0, name: "h", minLit: 1},
@@ -108,7 +118,17 @@ func runShapeCheck(pass *Pass) []Finding {
 type dim struct {
 	known bool
 	coef  int64
-	base  any // nil (literal), types.Object, or canonical string
+	base  any // nil (literal), types.Object, canonSym, or paramSym (summaries)
+}
+
+// canonSym is a dim base naming a derived property of a canonical
+// access path ("rows(l.Wf)", "len(xs)", "l.Hidden"). root is the
+// path's base identifier, kept so kills invalidate the symbol and so
+// summary extraction can translate parameter-rooted spellings into
+// param-relative ones.
+type canonSym struct {
+	canon string
+	root  types.Object
 }
 
 func litDim(v int64) dim  { return dim{known: true, coef: v} }
@@ -131,8 +151,20 @@ func (d dim) String() string {
 	switch b := d.base.(type) {
 	case types.Object:
 		name = b.Name()
-	case string:
-		name = b
+	case canonSym:
+		name = b.canon
+	case paramSym:
+		name = fmt.Sprintf("p%d%s", b.index, b.path)
+		switch b.prop {
+		case propRows:
+			name = "rows(" + name + ")"
+		case propCols:
+			name = "cols(" + name + ")"
+		case propLen:
+			name = "len(" + name + ")"
+		case propCount:
+			name = "count(" + name + ")"
+		}
 	}
 	if d.coef == 1 {
 		return name
@@ -158,10 +190,12 @@ func mergeDim(a, b dim) dim {
 }
 
 // The shape facts: integer dimension variables, vectors (and other
-// length-checked slices such as []bool skip masks) and matrices.
+// length-checked slices such as []bool skip masks), matrices, and
+// slices of vectors (the packed kernels' dst/x sets).
 type intFact struct{ d dim }
 type vecFact struct{ n dim }
 type matFact struct{ rows, cols dim }
+type vovFact struct{ count, elem dim }
 
 type shapeClient struct {
 	pass     *Pass
@@ -176,6 +210,8 @@ func (c *shapeClient) evalExpr(ev *env, e ast.Expr) any {
 		return c.matrixFact(ev, e)
 	case isLengthChecked(t):
 		return c.vectorFact(ev, e)
+	case isVecSlice(t):
+		return c.vovValue(ev, e)
 	case isIntegerType(t):
 		if d := c.dimOf(ev, e); d.known {
 			return intFact{d}
@@ -200,6 +236,10 @@ func (c *shapeClient) merge(a, b any) any {
 		if bv, ok := b.(matFact); ok {
 			return matFact{mergeDim(av.rows, bv.rows), mergeDim(av.cols, bv.cols)}
 		}
+	case vovFact:
+		if bv, ok := b.(vovFact); ok {
+			return vovFact{mergeDim(av.count, bv.count), mergeDim(av.elem, bv.elem)}
+		}
 	case intFact:
 		if bv, ok := b.(intFact); ok {
 			if av.d == bv.d {
@@ -222,6 +262,8 @@ func (c *shapeClient) scrub(f any, killed ref) any {
 		return vecFact{scrubDim(f.n, killed)}
 	case matFact:
 		return matFact{scrubDim(f.rows, killed), scrubDim(f.cols, killed)}
+	case vovFact:
+		return vovFact{scrubDim(f.count, killed), scrubDim(f.elem, killed)}
 	}
 	return f
 }
@@ -235,11 +277,11 @@ func scrubDim(d dim, killed ref) dim {
 		if killed.obj == b {
 			return dim{}
 		}
-	case string:
-		if killed.obj != nil && canonMentions(b, killed.obj.Name()) {
+	case canonSym:
+		if killed.obj != nil && (b.root == killed.obj || canonMentions(b.canon, killed.obj.Name())) {
 			return dim{}
 		}
-		if killed.canon != "" && strings.Contains(b, killed.canon) {
+		if killed.canon != "" && strings.Contains(b.canon, killed.canon) {
 			return dim{}
 		}
 	}
@@ -283,6 +325,9 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 		case "PackedGemv", "PackedGemvRows":
 			rows, cols := c.mdims(ev, arg(1))
 			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
+			// The per-gate destinations tile the united matrix: each dst
+			// segment length must divide the united row count.
+			c.requireDivides(call, name, "dst segment length", c.vovOf(ev, arg(0)).elem, "united rows", rows)
 			if name == "PackedGemvRows" {
 				// The skip mask covers one segment of the united matrix:
 				// its length must divide the united row count (rows =
@@ -292,9 +337,12 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 		case "PackedGemm":
 			// dst is len(xs) × m.Rows: its column count is the united row
 			// count (4h for the LSTM's W_{f,i,c,o}, 3h for the GRU's).
-			_, dc := c.mdims(ev, arg(0))
-			mr, _ := c.mdims(ev, arg(1))
+			dr, dc := c.mdims(ev, arg(0))
+			mr, mc := c.mdims(ev, arg(1))
 			c.require(call, name, "dst cols", dc, "united rows", mr)
+			xs := c.vovOf(ev, arg(2))
+			c.require(call, name, "dst rows", dr, "xs count", xs.count)
+			c.require(call, name, "xs element length", xs.elem, "m cols", mc)
 		case "Pack":
 			// All inputs to the row-wise concatenation must agree on the
 			// column count.
@@ -529,14 +577,107 @@ func (c *shapeClient) vectorFact(ev *env, e ast.Expr) any {
 				return vecFact{cols}
 			}
 		}
+		// Helper call: the callee's interprocedural summary, resolved
+		// against the actual arguments.
+		if f, ok := c.summaryFact(ev, call).(vecFact); ok {
+			return f
+		}
 		return nil
+	}
+	// A subslice's length is the bound difference when both bounds share
+	// a base: row[h:2*h] is h long.
+	if se, ok := e.(*ast.SliceExpr); ok {
+		return vecFact{c.sliceSpan(ev, se, c.vdim(ev, se.X))}
+	}
+	// Indexing a slice of vectors yields one element's length.
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		if f, ok := ev.eval(ix.X).(vovFact); ok && f.elem.known {
+			return vecFact{f.elem}
+		}
 	}
 	// A canonical path (parameter, field) names its own length: two
 	// uses of the same path agree, different paths stay incomparable.
-	if cn, _ := ev.canonOf(e); cn != "" {
-		return vecFact{symDim("len(" + cn + ")")}
+	if cn, root := ev.canonOf(e); cn != "" {
+		return vecFact{symDim(canonSym{"len(" + cn + ")", root})}
 	}
 	return nil
+}
+
+// sliceSpan computes the length of a slice expression from its bounds:
+// full length when unbounded, hi-lo when both bounds share a base.
+func (c *shapeClient) sliceSpan(ev *env, se *ast.SliceExpr, full dim) dim {
+	lo := litDim(0)
+	if se.Low != nil {
+		lo = c.dimOf(ev, se.Low)
+	}
+	hi := full
+	if se.High != nil {
+		hi = c.dimOf(ev, se.High)
+	}
+	if !lo.known || !hi.known {
+		return dim{}
+	}
+	switch {
+	case lo.base == nil && lo.coef == 0:
+		return hi
+	case lo.base == hi.base:
+		d := dim{known: true, coef: hi.coef - lo.coef, base: hi.base}
+		if d.coef == 0 {
+			d.base = nil
+		}
+		return d
+	}
+	return dim{}
+}
+
+// vovValue derives the fact for a slice-of-vectors expression (the
+// packed kernels' dst/x sets).
+func (c *shapeClient) vovValue(ev *env, e ast.Expr) any {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch {
+		case c.isBuiltin(e, "make") && len(e.Args) >= 2:
+			return vovFact{count: c.dimOf(ev, e.Args[1])}
+		case c.isBuiltin(e, "append"):
+			return nil
+		}
+		if f, ok := c.summaryFact(ev, e).(vovFact); ok {
+			return f
+		}
+		return nil
+	case *ast.SliceExpr:
+		prev := c.vovOf(ev, e.X)
+		return vovFact{count: c.sliceSpan(ev, e, prev.count), elem: prev.elem}
+	case *ast.CompositeLit:
+		// []Vector{a, b, c}: the count is the literal element count; the
+		// element length is kept only when every element agrees.
+		f := vovFact{count: litDim(int64(len(e.Elts)))}
+		for i, el := range e.Elts {
+			n := c.vdim(ev, el)
+			if i == 0 {
+				f.elem = n
+			} else {
+				f.elem = mergeDim(f.elem, n)
+			}
+		}
+		return f
+	}
+	if cn, root := ev.canonOf(e); cn != "" {
+		return vovFact{count: symDim(canonSym{"count(" + cn + ")", root})}
+	}
+	return nil
+}
+
+// vovOf returns the slice-of-vectors fact of an argument, or the
+// unknown fact.
+func (c *shapeClient) vovOf(ev *env, e ast.Expr) vovFact {
+	if e == nil {
+		return vovFact{}
+	}
+	if f, ok := ev.eval(e).(vovFact); ok {
+		return f
+	}
+	return vovFact{}
 }
 
 // matrixFact derives the shape fact for a matrix-typed expression that
@@ -574,10 +715,13 @@ func (c *shapeClient) matrixFact(ev *env, e ast.Expr) any {
 				}
 			}
 		}
+		if f, ok := c.summaryFact(ev, call).(matFact); ok {
+			return f
+		}
 		return nil
 	}
-	if cn, _ := ev.canonOf(e); cn != "" {
-		return matFact{symDim("rows(" + cn + ")"), symDim("cols(" + cn + ")")}
+	if cn, root := ev.canonOf(e); cn != "" {
+		return matFact{symDim(canonSym{"rows(" + cn + ")", root}), symDim(canonSym{"cols(" + cn + ")", root})}
 	}
 	return nil
 }
@@ -617,14 +761,20 @@ func (c *shapeClient) dimOf(ev *env, e ast.Expr) dim {
 			}
 			return dim{}
 		}
-		if cn, _ := ev.canonOf(e); cn != "" {
-			return symDim(cn)
+		if cn, root := ev.canonOf(e); cn != "" {
+			return symDim(canonSym{cn, root})
 		}
 	case *ast.CallExpr:
 		if c.isBuiltin(e, "len") && len(e.Args) == 1 {
-			if f, ok := ev.eval(e.Args[0]).(vecFact); ok {
+			switch f := ev.eval(e.Args[0]).(type) {
+			case vecFact:
 				return f.n
+			case vovFact:
+				return f.count
 			}
+		}
+		if f, ok := c.summaryFact(ev, e).(intFact); ok {
+			return f.d
 		}
 	case *ast.BinaryExpr:
 		switch e.Op {
@@ -667,6 +817,112 @@ func (c *shapeClient) isBuiltin(call *ast.CallExpr, name string) bool {
 	return isBuiltin || obj == nil
 }
 
+// summaryFact derives the fact of a single-result helper call from the
+// callee's interprocedural summary, or nil when the callee has none.
+func (c *shapeClient) summaryFact(ev *env, call *ast.CallExpr) any {
+	vals := c.evalCallResults(ev, call, 1)
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	return nil
+}
+
+// evalCallResults implements callResultClient: the per-result facts of
+// a call, produced by substituting the actual arguments into the
+// callee's summary shape transfer functions.
+func (c *shapeClient) evalCallResults(ev *env, call *ast.CallExpr, n int) []any {
+	obj, args := calleeFunc(c.pass.Pkg.Info, call)
+	if obj == nil {
+		return nil
+	}
+	s := c.pass.program().summaryFor(obj)
+	if s == nil || len(s.Results) != n {
+		return nil
+	}
+	cut := variadicCutoff(s, call)
+	out := make([]any, n)
+	for i, r := range s.Results {
+		out[i] = c.substShape(ev, r, args, cut)
+	}
+	return out
+}
+
+func (c *shapeClient) substShape(ev *env, s ShapeSum, args []ast.Expr, cut int) any {
+	switch s.Kind {
+	case sumInt:
+		if d := c.substDim(ev, s.D0, args, cut); d.known {
+			return intFact{d}
+		}
+	case sumVec:
+		return vecFact{c.substDim(ev, s.D0, args, cut)}
+	case sumMat:
+		return matFact{c.substDim(ev, s.D0, args, cut), c.substDim(ev, s.D1, args, cut)}
+	case sumVov:
+		return vovFact{c.substDim(ev, s.D0, args, cut), c.substDim(ev, s.D1, args, cut)}
+	}
+	return nil
+}
+
+// substDim resolves a summary dim at a call site: a paramSym base is
+// replaced by the named property of the matching actual argument, and
+// the caller's coefficient scales through. Param indices in a variadic
+// tail (at or past cut when cut >= 0) are not substitutable.
+func (c *shapeClient) substDim(ev *env, d dim, args []ast.Expr, cut int) dim {
+	if !d.known {
+		return d
+	}
+	p, ok := d.base.(paramSym)
+	if !ok {
+		if d.base == nil {
+			return d
+		}
+		return dim{} // callee-local base: meaningless at the call site
+	}
+	if p.index >= len(args) || (cut >= 0 && p.index >= cut) {
+		return dim{}
+	}
+	arg := args[p.index]
+	var a dim
+	if p.path == "" {
+		switch p.prop {
+		case propVal:
+			a = c.dimOf(ev, arg)
+		case propRows:
+			a, _ = c.mdims(ev, arg)
+		case propCols:
+			_, a = c.mdims(ev, arg)
+		case propLen:
+			a = c.vdim(ev, arg)
+		case propCount:
+			a = c.vovOf(ev, arg).count
+		}
+	} else {
+		// A field-path symbol re-spells against the argument's canonical
+		// path, matching what the caller's own direct use of the same
+		// path would produce (rows(n2.Head), l2.Hidden).
+		cn, root := ev.canonOf(arg)
+		if cn == "" {
+			return dim{}
+		}
+		spelling := cn + p.path
+		switch p.prop {
+		case propRows:
+			spelling = "rows(" + spelling + ")"
+		case propCols:
+			spelling = "cols(" + spelling + ")"
+		case propLen:
+			spelling = "len(" + spelling + ")"
+		case propCount:
+			spelling = "count(" + spelling + ")"
+		}
+		a = symDim(canonSym{spelling, root})
+	}
+	if !a.known {
+		return dim{}
+	}
+	return a.scaled(d.coef)
+}
+
 // isTensorMatrix reports whether t is (a pointer to) the tensor.Matrix
 // struct, matched structurally by package-path suffix and name.
 func isTensorMatrix(t types.Type) bool {
@@ -696,6 +952,19 @@ func isLengthChecked(t types.Type) bool {
 	}
 	_, basic := s.Elem().Underlying().(*types.Basic)
 	return basic
+}
+
+// isVecSlice reports whether t is a slice of length-checked slices —
+// []tensor.Vector, the packed kernels' dst/x sets.
+func isVecSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isLengthChecked(s.Elem())
 }
 
 // isIntegerType reports whether t is an integer kind (dimension
