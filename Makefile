@@ -8,7 +8,8 @@
 GO ?= go
 
 .PHONY: build test race vet vet386 lint lint-json lint-ci fuzz-smoke \
-	serve-race determinism-race bench-json serve-smoke check
+	serve-race determinism-race batch-race bench-json bench-batch \
+	serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -76,6 +77,16 @@ determinism-race:
 		-run 'Bitwise|Repeatable|ColdCache|Invalidate|Equivalent|Matches' \
 		./internal/tensor/ ./internal/lstm/ ./internal/gru/
 
+# Focused race gate for the batched forward path: the RunBatch
+# bitwise-equivalence suites in lstm/gru (serial-vs-batch, GOMAXPROCS
+# sweep, shared cold-cache build), the batch GEMM kernel tests, and the
+# serve window-dispatch tests (one RunBatch per drained window, ragged
+# lengths, malformed-member isolation). Already inside `make race`;
+# kept separate so CI reruns it -count=2.
+batch-race:
+	$(GO) test -race -count=2 -run 'Batch|Window|Malformed|GemmRows' \
+		./internal/tensor/ ./internal/lstm/ ./internal/gru/ ./internal/serve/
+
 # Hot-path benchmark trajectory: the united/packed kernel
 # micro-benchmarks plus the end-to-end Run benchmarks, folded into
 # BENCH_hotpath.json by cmd/benchjson (min ns/op over BENCHCOUNT
@@ -91,6 +102,15 @@ bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkRun' -benchmem \
 		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . >> /tmp/bench_hotpath.txt
 	/tmp/benchjson < /tmp/bench_hotpath.txt > BENCH_hotpath.json
+
+# Batch-size sweep alone: the RunBatch benchmarks over B ∈ {1..16}
+# with the per-request ns/req metric, without the rest of the hot-path
+# wall. `make bench-json` already folds these into BENCH_hotpath.json
+# (its '^BenchmarkRun' pattern matches BenchmarkRunBatch too); this
+# target is for iterating on the batch path locally.
+bench-batch:
+	$(GO) test -run='^$$' -bench='^BenchmarkRunBatch' -benchmem \
+		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
 # End-to-end scenario smoke of the serving binary: a short open-loop
 # run over one benchmark on the quick profile. Exercises the batching

@@ -12,6 +12,7 @@
 package mobilstm_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -98,6 +99,47 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBatch sweeps the batched forward path over batch sizes
+// B ∈ {1, 2, 4, 8, 16}: one RunBatch per op serving B requests, with
+// the per-request cost reported as the custom ns/req metric
+// (ns/op / B). The sweep quantifies the §II-C server-style weight
+// reuse on the host: the united weights stream once per timestep for
+// the whole batch, so ns/req must fall as B grows (the acceptance
+// bar is B=8 strictly below B=1).
+func BenchmarkRunBatch(b *testing.B) {
+	inst, _ := hotSetup(b)
+	// baseline and intra both take the lockstep batched GEMM path; the
+	// inter modes fall back to per-member serial execution (their
+	// structure is data-dependent), so batching buys them nothing and
+	// they are not swept here.
+	modes := []struct {
+		name string
+		opt  lstm.RunOptions
+	}{
+		{"baseline", lstm.Baseline()},
+		{"intra", lstm.RunOptions{Intra: true, AlphaIntra: 0.1}},
+	}
+	for _, m := range modes {
+		for _, B := range []int{1, 2, 4, 8, 16} {
+			seqs := make([][]tensor.Vector, B)
+			var bytes int64
+			for i := range seqs {
+				seqs[i] = inst.Seqs[i%len(inst.Seqs)]
+				bytes += hotBytes(inst.Net, len(seqs[i]))
+			}
+			b.Run(fmt.Sprintf("%s/B=%d", m.name, B), func(b *testing.B) {
+				b.SetBytes(bytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inst.Net.RunBatch(seqs, m.opt)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/req")
+			})
+		}
+	}
+}
+
 // BenchmarkRunGRU times the GRU counterpart (3h united W, 2h united
 // U_{z,r}) at a KWS-like shape.
 func BenchmarkRunGRU(b *testing.B) {
@@ -137,6 +179,23 @@ func BenchmarkRunGRU(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				n.Run(xs, m.opt)
 			}
+		})
+	}
+	// The GRU batch sweep at the endpoints of the LSTM sweep, enough to
+	// track the GRU's GEMV→GEMM win in the trajectory.
+	for _, B := range []int{1, 8} {
+		seqs := make([][]tensor.Vector, B)
+		for i := range seqs {
+			seqs[i] = xs
+		}
+		b.Run(fmt.Sprintf("batch/B=%d", B), func(b *testing.B) {
+			b.SetBytes(bytes * int64(B))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.RunBatch(seqs, gru.Baseline())
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/req")
 		})
 	}
 }

@@ -1,7 +1,9 @@
 // Command benchjson turns `go test -bench` text output into a stable
 // JSON document (see `make bench-json`, which writes BENCH_hotpath.json
 // at the repo root). Each benchmark line contributes ns/op plus the
-// optional -benchmem and SetBytes columns (B/op, allocs/op, MB/s).
+// optional -benchmem and SetBytes columns (B/op, allocs/op, MB/s) and
+// the batch sweep's custom per-request metric (ns/req, reported by
+// BenchmarkRunBatch via b.ReportMetric).
 //
 // When the input holds several samples of the same benchmark (a
 // `-count` > 1 run), the emitted entry is the minimum-ns/op sample and
@@ -32,6 +34,7 @@ type result struct {
 	Runs        int      `json:"runs"`
 	Samples     int      `json:"samples"`
 	NsPerOp     float64  `json:"ns_per_op"`
+	NsPerReq    float64  `json:"ns_per_req,omitempty"`
 	MBPerS      float64  `json:"mb_per_s,omitempty"`
 	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
@@ -135,6 +138,10 @@ func parseLine(line string) (*result, error) {
 		switch fields[i+1] {
 		case "ns/op":
 			r.NsPerOp, sawNs = v, true
+		case "ns/req":
+			// The batch sweep's per-request cost: one RunBatch op serves
+			// B requests, so ns/req = ns/op / B.
+			r.NsPerReq = v
 		case "MB/s":
 			r.MBPerS = v
 		case "B/op":

@@ -53,6 +53,7 @@ func Gemm(dst, a, b *Matrix)                                                {}
 func PackedGemv(dsts []Vector, m *Matrix, x Vector)                         {}
 func PackedGemvRows(dsts []Vector, m *Matrix, x Vector, s []bool, f float32) {}
 func PackedGemm(dst *Matrix, m *Matrix, xs []Vector)                        {}
+func PackedGemmRows(dst *Matrix, m *Matrix, xs []Vector, sk [][]bool, f float32) {}
 func ParallelGemv(dst Vector, m *Matrix, x Vector)                          {}
 func ParallelGemm(dst, a, b *Matrix)                                        {}
 func Add(dst, a, b Vector)                                                  {}
@@ -78,6 +79,7 @@ func (b *Builder) SgemvUfic(h, skipRows int, mode DRSMode) KernelSpec    { retur
 func (b *Builder) SgemmTissueUfic(h, t, skipRows int) (KernelSpec, bool) { return KernelSpec{}, true }
 func (b *Builder) SgemmWx(h, e, n int) KernelSpec                        { return KernelSpec{} }
 func (b *Builder) RequestBatch(h, length, layers, batch int) []KernelSpec { return nil }
+func (b *Builder) RequestBatchRagged(h, layers int, lens []int) []KernelSpec { return nil }
 func (b *Builder) GRUDRS(h, trivial int) KernelSpec                       { return KernelSpec{} }
 func (b *Builder) GRUSgemvUh(h, skipRows int, mode DRSMode) KernelSpec    { return KernelSpec{} }
 func (b *Builder) GRUSgemmWx(h, e, n int) KernelSpec                      { return KernelSpec{} }
@@ -209,6 +211,66 @@ func f(h, e int, xs []tensor.Vector) {
 		if !strings.Contains(got[0].Message, want) {
 			t.Errorf("message should report the united shapes (%q): %s", want, got[0].Message)
 		}
+	}
+}
+
+func TestShapeCheckFiresOnBatchGemmMismatch(t *testing.T) {
+	// The batch-B recurrent kernel driven with a GRU-sized 3h united
+	// matrix into an LSTM-sized 4h destination, plus a skip-mask set
+	// sized for a different batch.
+	src := `package bad
+
+import "mobilstm/internal/tensor"
+
+func f(h int) {
+	U := tensor.Pack(tensor.NewMatrix(h, h), tensor.NewMatrix(h, h), tensor.NewMatrix(h, h))
+	out := tensor.NewMatrix(7, 4*h)
+	xs := make([]tensor.Vector, 7)
+	sk := make([][]bool, 9)
+	tensor.PackedGemmRows(out, U, xs, sk, 0)
+}
+`
+	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "shapecheck", 10, 10)
+	for _, want := range []string{"PackedGemmRows", "dst cols", "4*h", "united rows", "3*h"} {
+		if !strings.Contains(got[0].Message, want) {
+			t.Errorf("message should report the united shapes (%q): %s", want, got[0].Message)
+		}
+	}
+	for _, want := range []string{"skips count", "9", "xs count"} {
+		if !strings.Contains(got[1].Message, want) {
+			t.Errorf("message should report the mask-set size (%q): %s", want, got[1].Message)
+		}
+	}
+}
+
+func TestShapeCheckBatchArenaSlicingClean(t *testing.T) {
+	// The batch arena pattern of the lstm/gru batch path: per-member
+	// gates and masks carved out of flat slabs, the batched kernel views
+	// re-headed over scratch storage. Everything is shape-consistent and
+	// must stay silent — this is the fixture twin of the real
+	// runLayerBatch hot loop.
+	src := `package ok
+
+import "mobilstm/internal/tensor"
+
+func f(h, b int, U *tensor.Matrix, xs []tensor.Vector) {
+	uni := tensor.Pack(tensor.NewMatrix(h, h), tensor.NewMatrix(h, h),
+		tensor.NewMatrix(h, h), tensor.NewMatrix(h, h))
+	maskBuf := make([]bool, b*h)
+	masks := make([][]bool, b)
+	gather := make([]tensor.Vector, b)
+	for i := 0; i < b; i++ {
+		masks[i] = maskBuf[i*h : (i+1)*h]
+		gather[i] = tensor.NewVector(h)
+	}
+	out := tensor.NewMatrix(b, 4*h)
+	tensor.PackedGemmRows(out, uni, gather, masks, 0)
+	tensor.PackedGemmRows(out, uni, gather, nil, 0)
+}
+`
+	if got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {
+		t.Fatalf("consistent batch arena slicing must pass: %v", got)
 	}
 }
 
@@ -783,10 +845,11 @@ func f(b *kernels.Builder, h int) {
 	b.RequestBatch(h, 16, 2, 0)
 	b.SgemmWx(0, h, 16)
 	b.DRS(h, -1)
+	b.RequestBatchRagged(h, 0, nil)
 }
 `
 	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
-	wantLines(t, got, "shapecheck", 6, 7, 9, 10, 11)
+	wantLines(t, got, "shapecheck", 6, 7, 9, 10, 11, 12)
 	for _, want := range []string{"kernels.DRS", "trivial", "2*h", "1*(h)"} {
 		if !strings.Contains(got[0].Message, want) {
 			t.Errorf("message should state the contract (%q): %s", want, got[0].Message)
@@ -812,6 +875,7 @@ func f(b *kernels.Builder, h int) {
 	b.SgemvUfic(h, measured(), 0)
 	b.SgemmTissueUfic(h, 4, measured())
 	b.RequestBatch(h, 16, 2, 4)
+	b.RequestBatchRagged(h, 2, nil)
 	b.SgemmWx(h, h, 16)
 }
 `

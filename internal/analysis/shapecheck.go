@@ -102,6 +102,13 @@ var kernelContracts = map[string][]kernelArg{
 		{index: 2, name: "layers", minLit: 1},
 		{index: 3, name: "batch", minLit: 1},
 	},
+	// The ragged window variant: the length vector is validated at
+	// runtime (every length >= 1), so only the scalar shape arguments
+	// carry symbolic contracts.
+	"RequestBatchRagged": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "layers", minLit: 1},
+	},
 }
 
 func runShapeCheck(pass *Pass) []Finding {
@@ -334,6 +341,19 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 				// len(dsts) × segment).
 				c.requireDivides(call, name, "skip length", c.vdim(ev, arg(3)), "united rows", rows)
 			}
+		case "PackedGemmRows":
+			// The batch-B recurrent kernel: dst is len(xs) × m.Rows, and
+			// each per-input skip mask tiles the united row count the way
+			// PackedGemvRows' segment mask does.
+			dr, dc := c.mdims(ev, arg(0))
+			mr, mc := c.mdims(ev, arg(1))
+			c.require(call, name, "dst cols", dc, "united rows", mr)
+			xs := c.vovOf(ev, arg(2))
+			c.require(call, name, "dst rows", dr, "xs count", xs.count)
+			c.require(call, name, "xs element length", xs.elem, "m cols", mc)
+			skips := c.vovOf(ev, arg(3))
+			c.require(call, name, "skips count", skips.count, "xs count", xs.count)
+			c.requireDivides(call, name, "skip mask length", skips.elem, "united rows", mr)
 		case "PackedGemm":
 			// dst is len(xs) × m.Rows: its column count is the united row
 			// count (4h for the LSTM's W_{f,i,c,o}, 3h for the GRU's).

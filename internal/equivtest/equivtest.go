@@ -1,0 +1,102 @@
+// Package equivtest is the shared bitwise-equivalence harness behind
+// the batched-forward contract: RunBatch output for member i must be
+// bitwise identical to serial Run(seqs[i]) in every mode, at every
+// GOMAXPROCS, cold and warm cache. The lstm, gru and serve tests all
+// assert through these helpers so the contract reads the same — and
+// fails the same way — everywhere.
+//
+// "Bitwise" is literal: vectors are compared by math.Float32bits, so a
+// mismatch in NaN payload or signed zero fails even where == would
+// pass. That is the strength of the contract — the batch path may not
+// reassociate, fuse or reorder a single float32 operation.
+package equivtest
+
+import (
+	"math"
+	"testing"
+
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// Vectors fails the test unless got and want are bitwise identical.
+// label names the batch member (or case) in the failure message.
+func Vectors(tb testing.TB, label string, got, want tensor.Vector) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: logits length %d, serial %d", label, len(got), len(want))
+	}
+	for j := range got {
+		if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+			tb.Fatalf("%s: logit %d batch %v (0x%08x) != serial %v (0x%08x)",
+				label, j, got[j], math.Float32bits(got[j]), want[j], math.Float32bits(want[j]))
+		}
+	}
+}
+
+// Batch fails the test unless every member of got is bitwise identical
+// to its serial counterpart in want.
+func Batch(tb testing.TB, label string, got, want []tensor.Vector) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: %d batch outputs for %d members", label, len(got), len(want))
+	}
+	for i := range got {
+		Vectors(tb, labelMember(label, i), got[i], want[i])
+	}
+}
+
+// Classes fails the test unless the batch class of every member equals
+// its serial class.
+func Classes(tb testing.TB, label string, got, want []int) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: %d batch classes for %d members", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			tb.Fatalf("%s member %d: batch class %d, serial class %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func labelMember(label string, i int) string {
+	return label + " member " + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// RaggedLengths draws b sequence lengths in [1, maxLen], biased so at
+// least two members differ whenever b > 1 and maxLen > 1 — a batch of
+// equal lengths never exercises the active-set shrink.
+func RaggedLengths(r *rng.RNG, b, maxLen int) []int {
+	lens := make([]int, b)
+	for i := range lens {
+		lens[i] = 1 + r.Intn(maxLen)
+	}
+	if b > 1 && maxLen > 1 {
+		allEq := true
+		for _, ln := range lens[1:] {
+			if ln != lens[0] {
+				allEq = false
+				break
+			}
+		}
+		if allEq {
+			lens[0] = 1 + lens[0]%maxLen // shift one member off the common length
+		}
+	}
+	return lens
+}

@@ -1,0 +1,102 @@
+package gru
+
+import (
+	"strings"
+	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// raggedSeqsFor draws count sequences of harness-generated ragged
+// lengths in [1, maxLen].
+func raggedSeqsFor(seed uint64, maxLen, count int) [][]tensor.Vector {
+	r := rng.New(seed)
+	lens := equivtest.RaggedLengths(r, count, maxLen)
+	out := make([][]tensor.Vector, count)
+	for i, ln := range lens {
+		xs := make([]tensor.Vector, ln)
+		for t := range xs {
+			v := tensor.NewVector(16)
+			for j := range v {
+				v[j] = r.NormF32(0, 1.5)
+			}
+			xs[t] = v
+		}
+		out[i] = xs
+	}
+	return out
+}
+
+func gruBatchModes(n *Network) map[string]RunOptions {
+	return map[string]RunOptions{
+		"baseline": Baseline(),
+		"intra":    {Intra: true, AlphaIntra: 0.15},
+		"inter":    {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPreds(n)},
+		"combined": {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPreds(n), Intra: true, AlphaIntra: 0.15},
+	}
+}
+
+// TestGRURunBatchMatchesSerial pins the GRU batched-forward contract:
+// member i of RunBatch is bitwise identical to serial Run(seqs[i]) in
+// every mode, at every batch size, over ragged lengths.
+func TestGRURunBatchMatchesSerial(t *testing.T) {
+	n := testNet(311, 2, 5)
+	for name, opt := range gruBatchModes(n) {
+		for bi, b := range []int{1, 2, 3, 5} {
+			seqs := raggedSeqsFor(312+uint64(bi), 15, b)
+			want := make([]tensor.Vector, b)
+			for i, xs := range seqs {
+				want[i] = n.Run(xs, opt)
+			}
+			got := n.RunBatch(seqs, opt)
+			equivtest.Batch(t, name, got, want)
+		}
+	}
+}
+
+// TestGRUClassifyBatchMatchesSerial pins the classification wrappers.
+func TestGRUClassifyBatchMatchesSerial(t *testing.T) {
+	n := testNet(313, 2, 6)
+	for name, opt := range gruBatchModes(n) {
+		seqs := raggedSeqsFor(314, 12, 4)
+		want := make([]int, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Classify(xs, opt)
+		}
+		equivtest.Classes(t, name, n.ClassifyBatch(seqs, opt), want)
+		gotE, err := n.ClassifyBatchE(seqs, opt)
+		if err != nil {
+			t.Fatalf("%s: ClassifyBatchE: %v", name, err)
+		}
+		equivtest.Classes(t, name+" (E)", gotE, want)
+	}
+}
+
+// TestGRURunBatchEValidation pins the error contract of the Guard
+// boundary.
+func TestGRURunBatchEValidation(t *testing.T) {
+	n := testNet(315, 2, 3)
+	good := seqsFor(316, 5, 1)[0]
+	cases := []struct {
+		name string
+		seqs [][]tensor.Vector
+		opt  RunOptions
+		want string
+	}{
+		{"empty batch", nil, Baseline(), "empty batch"},
+		{"empty member", [][]tensor.Vector{good, {}}, Baseline(), "empty input sequence"},
+		{"trace", [][]tensor.Vector{good}, RunOptions{Trace: &Trace{}}, "per-sequence"},
+		{"inter no mts", [][]tensor.Vector{good}, RunOptions{Inter: true}, "MTS"},
+		{"inter predictors", [][]tensor.Vector{good}, RunOptions{Inter: true, MTS: 2}, "predictors"},
+	}
+	for _, tc := range cases {
+		if _, err := n.RunBatchE(tc.seqs, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := n.RunBatchE([][]tensor.Vector{good, good}, Baseline()); err != nil {
+		t.Fatalf("valid batch after failures: %v", err)
+	}
+}

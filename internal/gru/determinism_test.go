@@ -3,6 +3,9 @@ package gru
 import (
 	"runtime"
 	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/tensor"
 )
 
 // TestGRURunBitwiseIdenticalAcrossGOMAXPROCS is the GRU twin of the LSTM
@@ -60,5 +63,64 @@ func TestGRUInvalidateRefreshesPackedCache(t *testing.T) {
 	}
 	if same {
 		t.Fatal("Invalidate did not pick up the weight mutation")
+	}
+}
+
+// TestGRURunBatchBitwiseIdenticalAcrossGOMAXPROCS is the GRU twin of
+// the LSTM batched determinism test: a ragged batch must match its
+// per-member serial runs bit for bit at any GOMAXPROCS.
+func TestGRURunBatchBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(97, 2, 5)
+	seqs := [][]tensor.Vector{
+		seqsFor(98, 40, 1)[0],
+		seqsFor(101, 17, 1)[0],
+		seqsFor(102, 29, 1)[0],
+		seqsFor(103, 40, 1)[0],
+	}
+	for name, opt := range gruBatchModes(n) {
+		want := make([]tensor.Vector, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Run(xs, opt)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.RunBatch(seqs, opt)
+			runtime.GOMAXPROCS(prev)
+			equivtest.Batch(t, name, got, want)
+		}
+	}
+}
+
+// TestGRUConcurrentRunBatchSharesColdCache races first-use builds of
+// the GRU packed cache through the batch path; run under -race in CI.
+func TestGRUConcurrentRunBatchSharesColdCache(t *testing.T) {
+	n := testNet(89, 2, 4)
+	seqs := [][]tensor.Vector{
+		seqsFor(90, 18, 1)[0],
+		seqsFor(104, 9, 1)[0],
+		seqsFor(105, 18, 1)[0],
+	}
+	ref := testNet(89, 2, 4)
+	want := make([]tensor.Vector, len(seqs))
+	for i, xs := range seqs {
+		want[i] = ref.Run(xs, Baseline())
+	}
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	results := make([][]tensor.Vector, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = n.RunBatch(seqs, Baseline())
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for _, got := range results {
+		equivtest.Batch(t, "worker", got, want)
 	}
 }

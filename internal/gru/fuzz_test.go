@@ -1,0 +1,54 @@
+package gru
+
+import (
+	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// FuzzGRURunBatchEquivalence is the GRU twin of the LSTM batch fuzzer:
+// rng-derived batch shapes and modes, every member bitwise identical
+// to its serial run.
+func FuzzGRURunBatchEquivalence(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r := rng.New(seed)
+		n := testNet(r.Uint64(), 1+r.Intn(2), 4)
+		b := 1 + r.Intn(6)
+		seqs := make([][]tensor.Vector, b)
+		for i, ln := range equivtest.RaggedLengths(r, b, 9) {
+			xs := make([]tensor.Vector, ln)
+			for t := range xs {
+				v := tensor.NewVector(16)
+				for j := range v {
+					v[j] = r.NormF32(0, 1.5)
+				}
+				xs[t] = v
+			}
+			seqs[i] = xs
+		}
+		var opt RunOptions
+		switch seed % 4 {
+		case 1:
+			opt = RunOptions{Intra: true, AlphaIntra: 0.02 + 0.3*r.Float64()}
+		case 2:
+			opt = RunOptions{Inter: true, AlphaInter: 4 * r.Float64(), MTS: 1 + r.Intn(4), Predictors: zeroPreds(n)}
+		case 3:
+			opt = RunOptions{
+				Inter: true, AlphaInter: 4 * r.Float64(), MTS: 1 + r.Intn(4), Predictors: zeroPreds(n),
+				Intra: true, AlphaIntra: 0.02 + 0.3*r.Float64(),
+			}
+		}
+		got, err := n.RunBatchE(seqs, opt)
+		if err != nil {
+			t.Fatalf("RunBatchE: %v", err)
+		}
+		for i, xs := range seqs {
+			equivtest.Vectors(t, "member", got[i], n.Run(xs, opt))
+		}
+	})
+}

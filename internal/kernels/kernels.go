@@ -31,6 +31,7 @@ package kernels
 import (
 	"mobilstm/internal/gpu"
 	"mobilstm/internal/gpu/crm"
+	"mobilstm/internal/tensor"
 )
 
 // Names used for per-kernel aggregation in simulation results.
@@ -356,6 +357,42 @@ func (b *Builder) RequestBatch(h, length, layers, batch int) []gpu.KernelSpec {
 		for c := 0; c < length; c++ {
 			k, _ := b.SgemmTissue(h, batch)
 			ks = append(ks, k, b.LstmEW(h, batch))
+		}
+	}
+	return ks
+}
+
+// RequestBatchRagged is RequestBatch for requests of unequal lengths:
+// the batch advances in lockstep and members drop out of the active set
+// as they finish, so cell t runs its tissue-shaped Sgemm over only the
+// still-active requests (no padding compute). The W·x stage covers the
+// sum of the lengths. With all lengths equal it reduces to RequestBatch.
+func (b *Builder) RequestBatchRagged(h, layers int, lens []int) []gpu.KernelSpec {
+	if len(lens) == 0 {
+		tensor.Panicf("kernels: RequestBatchRagged of an empty batch")
+	}
+	total, maxLen := 0, 0
+	for _, ln := range lens {
+		if ln < 1 {
+			tensor.Panicf("kernels: RequestBatchRagged length %d", ln)
+		}
+		total += ln
+		if ln > maxLen {
+			maxLen = ln
+		}
+	}
+	var ks []gpu.KernelSpec
+	for layer := 0; layer < layers; layer++ {
+		ks = append(ks, b.SgemmWx(h, h, total))
+		for c := 0; c < maxLen; c++ {
+			active := 0
+			for _, ln := range lens {
+				if c < ln {
+					active++
+				}
+			}
+			k, _ := b.SgemmTissue(h, active)
+			ks = append(ks, k, b.LstmEW(h, active))
 		}
 	}
 	return ks

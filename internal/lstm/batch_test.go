@@ -1,0 +1,125 @@
+package lstm
+
+import (
+	"strings"
+	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// raggedSeqs draws count sequences whose lengths come from the shared
+// harness generator, so at least two members differ.
+func raggedSeqs(r *rng.RNG, dim, maxLen, count int) [][]tensor.Vector {
+	lens := equivtest.RaggedLengths(r, count, maxLen)
+	out := make([][]tensor.Vector, count)
+	for i, ln := range lens {
+		out[i] = testSeqs(r, dim, ln, 1)[0]
+	}
+	return out
+}
+
+func batchModes(n *Network) map[string]RunOptions {
+	return map[string]RunOptions{
+		"baseline": Baseline(),
+		"intra":    {Intra: true, AlphaIntra: 0.1},
+		"inter":    {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPredictors(n)},
+		"combined": {Inter: true, AlphaInter: 2, MTS: 4, Predictors: zeroPredictors(n), Intra: true, AlphaIntra: 0.1},
+	}
+}
+
+// TestRunBatchMatchesSerial pins the batched-forward contract: member i
+// of RunBatch is bitwise identical to serial Run(seqs[i]) in every
+// mode, at every batch size, over ragged lengths.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	n := testNet(t, 24, 32, 2, 5, 301)
+	r := rng.New(302)
+	for name, opt := range batchModes(n) {
+		for _, b := range []int{1, 2, 3, 5} {
+			seqs := raggedSeqs(r, 24, 17, b)
+			want := make([]tensor.Vector, b)
+			for i, xs := range seqs {
+				want[i] = n.Run(xs, opt)
+			}
+			got := n.RunBatch(seqs, opt)
+			equivtest.Batch(t, name+" B="+itoa(b), got, want)
+		}
+	}
+}
+
+func itoa(b int) string {
+	return string([]byte{byte('0' + b)})
+}
+
+// TestClassifyBatchMatchesSerial pins the classification wrapper to the
+// serial Classify per member.
+func TestClassifyBatchMatchesSerial(t *testing.T) {
+	n := testNet(t, 16, 24, 2, 6, 303)
+	r := rng.New(304)
+	for name, opt := range batchModes(n) {
+		seqs := raggedSeqs(r, 16, 12, 4)
+		want := make([]int, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Classify(xs, opt)
+		}
+		got := n.ClassifyBatch(seqs, opt)
+		equivtest.Classes(t, name, got, want)
+
+		gotE, err := n.ClassifyBatchE(seqs, opt)
+		if err != nil {
+			t.Fatalf("%s: ClassifyBatchE: %v", name, err)
+		}
+		equivtest.Classes(t, name+" (E)", gotE, want)
+	}
+}
+
+// TestRunBatchEValidation pins the error contract of the Guard
+// boundary: malformed batches surface as errors, not panics.
+func TestRunBatchEValidation(t *testing.T) {
+	n := testNet(t, 8, 8, 2, 3, 305)
+	good := testSeqs(rng.New(306), 8, 5, 1)[0]
+	cases := []struct {
+		name string
+		seqs [][]tensor.Vector
+		opt  RunOptions
+		want string
+	}{
+		{"empty batch", nil, Baseline(), "empty batch"},
+		{"empty member", [][]tensor.Vector{good, {}}, Baseline(), "empty input sequence"},
+		{"trace", [][]tensor.Vector{good}, RunOptions{Trace: &Trace{}}, "per-sequence"},
+		{"inter no mts", [][]tensor.Vector{good}, RunOptions{Inter: true}, "MTS"},
+		{"inter predictors", [][]tensor.Vector{good}, RunOptions{Inter: true, MTS: 2}, "predictors"},
+	}
+	for _, tc := range cases {
+		if _, err := n.RunBatchE(tc.seqs, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+		if _, err := n.ClassifyBatchE(tc.seqs, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s (classify): error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// A valid batch still succeeds after the failures above (the guard
+	// must not poison shared state).
+	if _, err := n.RunBatchE([][]tensor.Vector{good, good}, Baseline()); err != nil {
+		t.Fatalf("valid batch after failures: %v", err)
+	}
+}
+
+// TestCheckSequence pins the serve-facing per-member validator.
+func TestCheckSequence(t *testing.T) {
+	n := testNet(t, 8, 8, 1, 3, 307)
+	good := testSeqs(rng.New(308), 8, 4, 1)[0]
+	if err := n.CheckSequence(good); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	if err := n.CheckSequence(nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	bad := [][]tensor.Vector{{tensor.NewVector(7)}, {good[0], tensor.NewVector(9)}}
+	for _, xs := range bad {
+		if err := n.CheckSequence(xs); err == nil {
+			t.Fatalf("mis-sized sequence accepted: %v", xs)
+		}
+	}
+}

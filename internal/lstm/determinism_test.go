@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"testing"
 
+	"mobilstm/internal/equivtest"
 	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
 )
 
 // TestRunBitwiseIdenticalAcrossGOMAXPROCS pins the determinism guarantee
@@ -120,5 +122,67 @@ func TestInvalidateRefreshesPackedCache(t *testing.T) {
 	}
 	if same {
 		t.Fatal("Invalidate did not pick up the weight mutation")
+	}
+}
+
+// TestRunBatchBitwiseIdenticalAcrossGOMAXPROCS extends the determinism
+// guarantee to the batched forward path: the batch GEMMs shard united
+// weight rows, never accumulation chains, so a ragged batch must match
+// its per-member serial runs bit for bit whatever the scheduler does.
+func TestRunBatchBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(t, 48, 64, 2, 5, 91)
+	seqs := [][]tensor.Vector{
+		testSeqs(rng.New(92), 48, 40, 1)[0],
+		testSeqs(rng.New(93), 48, 23, 1)[0],
+		testSeqs(rng.New(94), 48, 31, 1)[0],
+		testSeqs(rng.New(95), 48, 40, 1)[0],
+	}
+	for name, opt := range batchModes(n) {
+		want := make([]tensor.Vector, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Run(xs, opt)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.RunBatch(seqs, opt)
+			runtime.GOMAXPROCS(prev)
+			equivtest.Batch(t, name+" GOMAXPROCS="+itoa(procs), got, want)
+		}
+	}
+}
+
+// TestConcurrentRunBatchSharesColdCache races first-use builds of the
+// packed weight cache through the batch path: a fresh network batched
+// from many goroutines at once must agree on one united copy and match
+// the serial reference bitwise. Run under -race in CI.
+func TestConcurrentRunBatchSharesColdCache(t *testing.T) {
+	n := testNet(t, 24, 32, 2, 4, 89)
+	seqs := [][]tensor.Vector{
+		testSeqs(rng.New(90), 24, 18, 1)[0],
+		testSeqs(rng.New(96), 24, 11, 1)[0],
+		testSeqs(rng.New(97), 24, 18, 1)[0],
+	}
+	ref := testNet(t, 24, 32, 2, 4, 89)
+	want := make([]tensor.Vector, len(seqs))
+	for i, xs := range seqs {
+		want[i] = ref.Run(xs, Baseline())
+	}
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	results := make([][]tensor.Vector, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = n.RunBatch(seqs, Baseline())
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w, got := range results {
+		equivtest.Batch(t, "worker "+itoa(w), got, want)
 	}
 }

@@ -1,6 +1,8 @@
 package lstm
 
 import (
+	"fmt"
+
 	"mobilstm/internal/intercell"
 	"mobilstm/internal/intracell"
 	"mobilstm/internal/tensor"
@@ -104,11 +106,33 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 		}
 		seq = n.runLayer(li, l, seq, opt, lt, sc)
 	}
-	last := seq[len(seq)-1]
+	return n.headLogits(seq[len(seq)-1])
+}
+
+// headLogits applies the linear head to a final hidden state, returning
+// freshly allocated logits (never an arena view).
+func (n *Network) headLogits(last tensor.Vector) tensor.Vector {
 	logits := tensor.NewVector(n.Head.Rows)
 	tensor.Gemv(logits, n.Head, last)
 	tensor.Add(logits, logits, n.HeadBias)
 	return logits
+}
+
+// CheckSequence validates a caller-supplied input sequence against the
+// network's input width without running it: a serving front-end uses it
+// to reject one malformed batch member with its own error instead of
+// failing the co-batched requests.
+func (n *Network) CheckSequence(xs []tensor.Vector) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("lstm: empty input sequence")
+	}
+	in := n.Input()
+	for t, x := range xs {
+		if len(x) != in {
+			return fmt.Errorf("lstm: sequence element %d has length %d, want input width %d", t, len(x), in)
+		}
+	}
+	return nil
 }
 
 // Classify runs the network and returns the argmax class.

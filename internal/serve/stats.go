@@ -18,8 +18,9 @@ type benchStats struct {
 	cancelled int64
 	errors    int64
 
-	batches  int64
-	sumBatch int64
+	batches    int64
+	runBatches int64
+	sumBatch   int64
 
 	scored  int64
 	correct int64
@@ -55,6 +56,10 @@ type BenchSnapshot struct {
 
 	// MeanBatch is the mean live batch size across dispatched batches.
 	MeanBatch float64
+	// RunBatches counts batched forward launches (one ClassifyBatch per
+	// dispatched window): Served/RunBatches is the realized host-side
+	// weight-reuse factor of the §II-C batching trade.
+	RunBatches int64
 	// Throughput is served requests per second of uptime.
 	Throughput float64
 	// MeanWaitMs / MeanGPUMs split the mean latency into queueing wait
@@ -89,14 +94,15 @@ func (s *Server) Stats() Snapshot {
 	for _, name := range names {
 		st := s.stats[name]
 		bs := BenchSnapshot{
-			Bench:     name,
-			Set:       st.set,
-			Submitted: st.submitted,
-			Served:    st.served,
-			Rejected:  st.rejected,
-			Cancelled: st.cancelled,
-			Errors:    st.errors,
-			Scored:    st.scored,
+			Bench:      name,
+			Set:        st.set,
+			Submitted:  st.submitted,
+			Served:     st.served,
+			Rejected:   st.rejected,
+			Cancelled:  st.cancelled,
+			Errors:     st.errors,
+			Scored:     st.scored,
+			RunBatches: st.runBatches,
 		}
 		if st.batches > 0 {
 			bs.MeanBatch = float64(st.sumBatch) / float64(st.batches)

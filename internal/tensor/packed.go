@@ -111,6 +111,62 @@ func PackedGemvRows(dsts []Vector, m *Matrix, x Vector, skip []bool, fill float3
 	}
 }
 
+// PackedGemmRows computes dst row b = m · xs[b] for every input vector,
+// with a per-input Dynamic Row Skip mask — the batch-B recurrent kernel
+// of the batched forward path. dst is a len(xs) × m.Rows row-major
+// matrix; skips is nil (compute everything), or holds one mask per
+// input, each mask nil (compute every row for that input) or of a
+// length that tiles m.Rows the way PackedGemvRows' segment mask does:
+// united row r of input b is skipped — set to fill — where
+// skips[b][r % len(skips[b])] is true.
+//
+// The traversal is row-outer: each united weight row streams from
+// memory once and is dotted against every input before the next row is
+// touched — the Appleyard-style GEMV→GEMM conversion that amortizes
+// weight traffic over the batch, which is why the fork-join shards the
+// weight rows (tall: 4h/3h/2h) rather than the batch (wide but short).
+// Every output element is the same dotRow chain as the serial
+// per-member call, so the result is bitwise identical to len(xs)
+// independent Gemv/PackedGemvRows calls at any GOMAXPROCS.
+func PackedGemmRows(dst *Matrix, m *Matrix, xs []Vector, skips [][]bool, fill float32) {
+	if dst.Rows != len(xs) || dst.Cols != m.Rows {
+		Panicf("tensor: PackedGemmRows shape mismatch: dst %dx%d, m %dx%d, %d inputs",
+			dst.Rows, dst.Cols, m.Rows, m.Cols, len(xs))
+	}
+	for _, x := range xs {
+		if len(x) != m.Cols {
+			Panicf("tensor: PackedGemmRows input length %d, m cols %d", len(x), m.Cols)
+		}
+	}
+	if skips != nil && len(skips) != len(xs) {
+		Panicf("tensor: PackedGemmRows %d masks for %d inputs", len(skips), len(xs))
+	}
+	if skips != nil {
+		for _, sk := range skips {
+			if sk != nil && (len(sk) == 0 || m.Rows%len(sk) != 0) {
+				Panicf("tensor: PackedGemmRows mask length %d does not tile %d united rows",
+					len(sk), m.Rows)
+			}
+		}
+	}
+	n := m.Cols
+	forkJoin(m.Rows, m.Rows*n*len(xs), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			wrow := m.Data[r*n : r*n+n]
+			out := dst.Data[r:]
+			for b, x := range xs {
+				if skips != nil {
+					if sk := skips[b]; sk != nil && sk[r%len(sk)] {
+						out[b*dst.Cols] = fill
+						continue
+					}
+				}
+				out[b*dst.Cols] = dotRow(wrow, x)
+			}
+		}
+	})
+}
+
 // PackedGemm computes dst row t = m · xs[t] for every input vector —
 // the whole-layer united W·x stage (step 2 of Algorithm 1, where all
 // cell inputs are ready up-front): dst is a len(xs) × m.Rows row-major

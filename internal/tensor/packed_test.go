@@ -147,6 +147,104 @@ func TestPackedGemmBitwiseEqualsGemvAtAnyGOMAXPROCS(t *testing.T) {
 	})
 }
 
+// TestPackedGemmRowsBitwiseEqualsPerMemberAtAnyGOMAXPROCS pins the
+// batch kernel's contract: row b of the batched product must be bitwise
+// identical to an independent serial PackedGemvRows for member b — same
+// dotRow chains, same fill on masked rows — however the row-outer
+// fork-join shards the united weight rows.
+func TestPackedGemmRowsBitwiseEqualsPerMemberAtAnyGOMAXPROCS(t *testing.T) {
+	r := rng.New(0x48)
+	for _, sh := range packedShapes {
+		rows := sh.seg * sh.gates
+		m := randMatrix(r, rows, sh.cols)
+		const members = 5
+		xs := make([]Vector, members)
+		skips := make([][]bool, members)
+		for b := range xs {
+			xs[b] = randVector(r, sh.cols)
+			if b%2 == 1 { // odd members skip, even compute every row
+				mask := make([]bool, sh.seg)
+				for i := range mask {
+					mask[i] = r.Bernoulli(0.4)
+				}
+				skips[b] = mask
+			}
+		}
+		const fill = -3.25
+
+		want := make([]Vector, members)
+		for b := range want {
+			want[b] = NewVector(rows)
+			segs := make([]Vector, sh.gates)
+			for g := range segs {
+				segs[g] = want[b][g*sh.seg : (g+1)*sh.seg]
+			}
+			PackedGemvRows(segs, m, xs[b], skips[b], fill)
+		}
+		atGOMAXPROCS(t, []int{1, 2, 8}, func(t *testing.T) {
+			dst := NewMatrix(members, rows)
+			PackedGemmRows(dst, m, xs, skips, fill)
+			for b := range xs {
+				row := dst.Row(b)
+				for i := range row {
+					if row[i] != want[b][i] {
+						t.Fatalf("GOMAXPROCS %d shape %v member %d row %d: batched %v != serial %v",
+							runtime.GOMAXPROCS(0), sh, b, i, row[i], want[b][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPackedGemmRowsNilSkipsEqualsPackedGemm: a nil mask set (and a set
+// of all-nil member masks) degenerates to the plain batched product.
+func TestPackedGemmRowsNilSkipsEqualsPackedGemm(t *testing.T) {
+	r := rng.New(0x49)
+	const rows, cols, members = 21, 13, 4
+	m := randMatrix(r, rows, cols)
+	xs := make([]Vector, members)
+	for b := range xs {
+		xs[b] = randVector(r, cols)
+	}
+	want := NewMatrix(members, rows)
+	PackedGemm(want, m, xs)
+	for name, skips := range map[string][][]bool{
+		"nil set":   nil,
+		"nil masks": make([][]bool, members),
+	} {
+		dst := NewMatrix(members, rows)
+		PackedGemmRows(dst, m, xs, skips, 0)
+		for i := range dst.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("%s: element %d: %v != %v", name, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestPackedGemmRowsShapePanics(t *testing.T) {
+	m := NewMatrix(8, 4)
+	xs := []Vector{NewVector(4), NewVector(4)}
+	for name, fn := range map[string]func(){
+		"dst rows":    func() { PackedGemmRows(NewMatrix(3, 8), m, xs, nil, 0) },
+		"dst cols":    func() { PackedGemmRows(NewMatrix(2, 7), m, xs, nil, 0) },
+		"x cols":      func() { PackedGemmRows(NewMatrix(2, 8), m, []Vector{NewVector(4), NewVector(5)}, nil, 0) },
+		"skips count": func() { PackedGemmRows(NewMatrix(2, 8), m, xs, make([][]bool, 3), 0) },
+		"mask tiling": func() { PackedGemmRows(NewMatrix(2, 8), m, xs, [][]bool{make([]bool, 3), nil}, 0) },
+		"empty mask":  func() { PackedGemmRows(NewMatrix(2, 8), m, xs, [][]bool{{}, nil}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestParallelGemvBitwiseEqualsGemvProperty(t *testing.T) {
 	r := rng.New(0x45)
 	f := func(seed uint64) bool {
