@@ -59,7 +59,7 @@ func wantLines(t *testing.T, findings []Finding, analyzer string, lines ...int) 
 }
 
 func TestRegistryHasAllAnalyzers(t *testing.T) {
-	want := []string{"arenaescape", "float64leak", "globalrand", "invalidatecheck", "locklint", "maporder", "panicpolicy", "shapecheck", "threshconst"}
+	want := []string{"arenaescape", "detfloat", "float64leak", "globalrand", "goroutinejoin", "invalidatecheck", "kernelcontracts", "locklint", "maporder", "panicpolicy", "racecontract", "shapecheck", "threshconst"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,490 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the concurrency half of the summary engine: per-function
+// concurrency facts (does a function spawn goroutines, which parameters
+// it retains on a spawned goroutine, which WaitGroup parameters it marks
+// Done, which channel/context parameters it blocks on) plus a
+// per-package ConcurrencyInfo — goroutine spawn sites, value-publication
+// points, and a conservative may-happen-in-parallel approximation
+// layered on the package call graph. The contract analyzers
+// (racecontract, goroutinejoin) consume both: the facts make them
+// wrapper-aware (serve.Daemons.Go joins like a literal go statement; a
+// helper that defers wg.Done discharges the join obligation at its
+// spawn site), and the MHP layer answers "may these two functions run
+// at the same time" without a whole-program thread analysis.
+
+// --- type predicates --------------------------------------------------
+
+// namedFrom reports whether t (possibly behind one pointer) is the
+// named type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex")
+}
+
+// isOnceType reports whether t is sync.Once.
+func isOnceType(t types.Type) bool { return namedFrom(t, "sync", "Once") }
+
+// isAtomicGuard reports whether t is any named type from sync/atomic
+// (Pointer[T], Int64, Bool, Value, ...): accesses through these are
+// synchronization, not racy data accesses.
+func isAtomicGuard(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return namedFrom(t, "context", "Context") }
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// namedStructOf returns the named struct type behind t (dropping one
+// pointer), or nil: the owner type a field access attaches to.
+func namedStructOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// --- per-function concurrency facts ----------------------------------
+
+// concWalker derives one declaration's concurrency facts for its
+// FuncSummary.
+type concWalker struct {
+	pass   *Pass
+	w      *dfWalker
+	decl   *ast.FuncDecl
+	params []*types.Var
+	index  map[types.Object]int
+
+	spawns      bool
+	spawnsParam []bool
+	donesParam  []bool
+	ctxWaits    []bool
+}
+
+func newConcWalker(pass *Pass, decl *ast.FuncDecl, params []*types.Var) *concWalker {
+	cw := &concWalker{
+		pass:        pass,
+		w:           &dfWalker{pass: pass},
+		decl:        decl,
+		params:      params,
+		index:       map[types.Object]int{},
+		spawnsParam: make([]bool, len(params)),
+		donesParam:  make([]bool, len(params)),
+		ctxWaits:    make([]bool, len(params)),
+	}
+	for i, p := range params {
+		cw.index[p] = i
+	}
+	return cw
+}
+
+// paramIndex resolves an expression to a parameter index via its plain
+// identifier, or -1.
+func (cw *concWalker) paramIndex(e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	if i, ok := cw.index[cw.w.objectOf(id)]; ok {
+		return i
+	}
+	return -1
+}
+
+// rootParamIndex resolves an access path ("s.dispatch") to the
+// parameter index of its root identifier, or -1.
+func (cw *concWalker) rootParamIndex(e ast.Expr) int {
+	if i := cw.paramIndex(e); i >= 0 {
+		return i
+	}
+	_, root := cw.w.canon(e)
+	if root == nil {
+		return -1
+	}
+	if i, ok := cw.index[root]; ok {
+		return i
+	}
+	return -1
+}
+
+func (cw *concWalker) run() {
+	if cw.decl.Body == nil || cw.pass.Pkg.Info == nil {
+		return
+	}
+	ast.Inspect(cw.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			cw.spawns = true
+			cw.spawnRetains(n.Call)
+		case *ast.CallExpr:
+			cw.call(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				cw.waitOn(n.X)
+			}
+		case *ast.RangeStmt:
+			if isChanType(cw.pass.TypeOf(n.X)) {
+				cw.waitOn(n.X)
+			}
+		}
+		return true
+	})
+}
+
+// spawnRetains marks every parameter that escapes onto the goroutine
+// spawned by call: the function value itself, arguments, and free
+// identifiers of a spawned literal body.
+func (cw *concWalker) spawnRetains(call *ast.CallExpr) {
+	if i := cw.paramIndex(call.Fun); i >= 0 {
+		cw.spawnsParam[i] = true
+	}
+	for _, arg := range call.Args {
+		if i := cw.rootParamIndex(arg); i >= 0 {
+			cw.spawnsParam[i] = true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if i, ok := cw.index[cw.w.objectOf(id)]; ok {
+					cw.spawnsParam[i] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// waitOn records a blocking receive (or range) whose channel — or
+// context, via ctx.Done() — roots at a parameter.
+func (cw *concWalker) waitOn(e ast.Expr) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// <-ctx.Done() style: attribute the wait to the receiver.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if i := cw.rootParamIndex(sel.X); i >= 0 {
+				cw.ctxWaits[i] = true
+			}
+		}
+		return
+	}
+	if i := cw.rootParamIndex(e); i >= 0 {
+		cw.ctxWaits[i] = true
+	}
+}
+
+// call folds one call expression into the facts: direct Done calls on
+// WaitGroup parameters, and the transitive closure through callee
+// summaries (a callee that spawns, Dones, or waits on what we pass it
+// does so on our behalf).
+func (cw *concWalker) call(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+		if i := cw.rootParamIndex(sel.X); i >= 0 && isWaitGroup(cw.params[i].Type()) {
+			cw.donesParam[i] = true
+		}
+	}
+	obj, rargs := calleeFunc(cw.pass.Pkg.Info, call)
+	if obj == nil || obj == cw.pass.Pkg.Info.Defs[cw.decl.Name] {
+		return
+	}
+	sum := cw.pass.program().summaryFor(obj)
+	if sum == nil {
+		return
+	}
+	if sum.Spawns {
+		cw.spawns = true
+	}
+	for j, arg := range rargs {
+		if j >= sum.NumParams {
+			break
+		}
+		i := cw.rootParamIndex(arg)
+		if i < 0 {
+			// A spawned function literal is itself a spawn site of this
+			// declaration, already visited by the Inspect walk.
+			continue
+		}
+		if j < len(sum.SpawnsParam) && sum.SpawnsParam[j] {
+			cw.spawnsParam[i] = true
+		}
+		if j < len(sum.DonesParam) && sum.DonesParam[j] && isWaitGroup(cw.params[i].Type()) {
+			cw.donesParam[i] = true
+		}
+		if j < len(sum.CtxWaits) && sum.CtxWaits[j] {
+			cw.ctxWaits[i] = true
+		}
+	}
+}
+
+func (cw *concWalker) fill(s *FuncSummary) {
+	s.Spawns = cw.spawns
+	s.SpawnsParam = cw.spawnsParam
+	s.DonesParam = cw.donesParam
+	s.CtxWaits = cw.ctxWaits
+}
+
+// --- package-level MHP approximation ---------------------------------
+
+// SpawnSite is one goroutine creation point of a package: a literal go
+// statement, or a call handing a function value to a spawning callee
+// (serve.Daemons.Go style, recognized through summaries).
+type SpawnSite struct {
+	Pos token.Pos
+	// Callee names the spawned function when it is a declared function
+	// ("(mobilstm/internal/serve.*Server).batchLoop"); "func literal"
+	// otherwise.
+	Callee string
+}
+
+// Publication is one value-publication point: the position where a
+// value becomes reachable from another goroutine — captured by a
+// spawned literal, sent on a channel, stored through sync/atomic, or
+// passed to a callee that retains it on a goroutine.
+type Publication struct {
+	Pos  token.Pos
+	Kind string // "go-capture", "send", "atomic-store", "spawn-arg"
+	Type string // the published value's type
+}
+
+// ConcurrencyInfo is the package-level concurrency map: spawn sites,
+// publication points, and the set of functions that may execute off the
+// main goroutine (the transitive call-graph closure of everything
+// reachable from a spawn site).
+type ConcurrencyInfo struct {
+	Spawns       []SpawnSite
+	Publications []Publication
+
+	concurrent map[string]bool // summaryKey → may run on a spawned goroutine
+}
+
+// Concurrent reports whether fn may execute on a goroutine other than
+// the one that entered the package (conservatively: it is reachable
+// through the package call graph from any spawn site).
+func (ci *ConcurrencyInfo) Concurrent(fn *types.Func) bool {
+	return fn != nil && ci.concurrent[summaryKey(fn)]
+}
+
+// MHP is the conservative may-happen-in-parallel approximation: the
+// spawning goroutine keeps running, so two functions may overlap
+// whenever either of them can run off it. Within one goroutine —
+// neither function concurrent — they are ordered by the call stack.
+func (ci *ConcurrencyInfo) MHP(f, g *types.Func) bool {
+	return ci.Concurrent(f) || ci.Concurrent(g)
+}
+
+// concurrencyFor computes (or retrieves) pkg's ConcurrencyInfo.
+func (pr *Program) concurrencyFor(pkg *Package) *ConcurrencyInfo {
+	if ci := pr.conc[pkg.ImportPath]; ci != nil && pkg.ForTest == "" {
+		return ci
+	}
+	ci := buildConcurrencyInfo(pr, pkg)
+	if pkg.ForTest == "" {
+		pr.conc[pkg.ImportPath] = ci
+	}
+	return ci
+}
+
+// Concurrency returns the per-package concurrency map for this pass.
+func (p *Pass) Concurrency() *ConcurrencyInfo {
+	return p.program().concurrencyFor(p.Pkg)
+}
+
+func buildConcurrencyInfo(pr *Program, pkg *Package) *ConcurrencyInfo {
+	ci := &ConcurrencyInfo{concurrent: map[string]bool{}}
+	if pkg.Info == nil {
+		return ci
+	}
+	g := buildCallGraph(pkg)
+	pass := &Pass{Pkg: pkg, prog: pr}
+	w := &dfWalker{pass: pass}
+
+	// roots are the declared functions that may start executing on a
+	// fresh goroutine: named go targets, functions referenced inside
+	// spawned literals, and function values handed to spawning callees.
+	var roots []*types.Func
+	markRoot := func(obj *types.Func) {
+		if obj != nil {
+			roots = append(roots, obj)
+		}
+	}
+	// spawnedExpr records fn (a go target or spawn-bound argument) as a
+	// spawn of the package.
+	spawnedExpr := func(pos token.Pos, fn ast.Expr) {
+		fn = ast.Unparen(fn)
+		callee := "func literal"
+		switch fn := fn.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj, ok := pkg.Info.Uses[id].(*types.Func); ok {
+						markRoot(obj)
+					}
+				}
+				return true
+			})
+		case *ast.Ident:
+			if obj, ok := pkg.Info.Uses[fn].(*types.Func); ok {
+				markRoot(obj)
+				callee = summaryKey(obj)
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pkg.Info.Uses[fn.Sel].(*types.Func); ok {
+				markRoot(obj)
+				callee = summaryKey(obj)
+			}
+		}
+		ci.Spawns = append(ci.Spawns, SpawnSite{Pos: pos, Callee: callee})
+	}
+	publish := func(pos token.Pos, kind string, e ast.Expr) {
+		t := pass.TypeOf(e)
+		if namedStructOf(t) == nil {
+			return
+		}
+		ci.Publications = append(ci.Publications, Publication{
+			Pos: pos, Kind: kind, Type: types.TypeString(t, types.RelativeTo(pkg.Types)),
+		})
+	}
+
+	for _, fi := range g.nodes {
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				spawnedExpr(n.Pos(), n.Call.Fun)
+				for _, arg := range n.Call.Args {
+					publish(n.Pos(), "spawn-arg", arg)
+				}
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					for _, obj := range capturedVars(w, lit) {
+						if namedStructOf(obj.Type()) != nil {
+							ci.Publications = append(ci.Publications, Publication{
+								Pos: n.Pos(), Kind: "go-capture",
+								Type: types.TypeString(obj.Type(), types.RelativeTo(pkg.Types)),
+							})
+						}
+					}
+				}
+			case *ast.SendStmt:
+				publish(n.Pos(), "send", n.Value)
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Store" || sel.Sel.Name == "Swap" || sel.Sel.Name == "CompareAndSwap") &&
+					isAtomicGuard(pass.TypeOf(sel.X)) {
+					for _, arg := range n.Args {
+						publish(n.Pos(), "atomic-store", arg)
+					}
+				}
+				// A function value handed to a spawning callee runs on a
+				// goroutine of the callee's making.
+				if obj, rargs := calleeFunc(pkg.Info, n); obj != nil {
+					if sum := pr.summaryFor(obj); sum != nil {
+						for j, arg := range rargs {
+							if j < len(sum.SpawnsParam) && sum.SpawnsParam[j] {
+								if _, ok := pass.TypeOf(arg).Underlying().(*types.Signature); ok {
+									spawnedExpr(n.Pos(), arg)
+								} else {
+									publish(n.Pos(), "spawn-arg", arg)
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Close the root set over the package call graph: a callee of a
+	// concurrent function is concurrent.
+	var work []*funcInfo
+	for _, obj := range roots {
+		if fi := g.byObj[obj]; fi != nil && !ci.concurrent[summaryKey(obj)] {
+			ci.concurrent[summaryKey(obj)] = true
+			work = append(work, fi)
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, callee := range fi.callees {
+			key := summaryKey(callee.obj)
+			if !ci.concurrent[key] {
+				ci.concurrent[key] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	sort.Slice(ci.Spawns, func(i, j int) bool { return ci.Spawns[i].Pos < ci.Spawns[j].Pos })
+	sort.Slice(ci.Publications, func(i, j int) bool { return ci.Publications[i].Pos < ci.Publications[j].Pos })
+	return ci
+}
+
+// capturedVars lists the variables a function literal references but
+// does not declare — its closure captures.
+func capturedVars(w *dfWalker, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.objectOf(id).(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}

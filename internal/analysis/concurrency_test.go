@@ -1,0 +1,511 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// --- racecontract -----------------------------------------------------
+
+// TestRaceContractDoubleCheckedOnce is the seeded acceptance fixture:
+// the Engine.Baseline shape from the serving engine's history, where a
+// sync.Once guards the slow path but a bare fast-path read races with
+// the Do body. Both unguarded reads — the condition and the early
+// return — are findings; the post-Do read is settled and clean.
+func TestRaceContractDoubleCheckedOnce(t *testing.T) {
+	src := `package bad
+
+import "sync"
+
+type Model struct{ n int }
+
+type Engine struct {
+	once sync.Once
+	base *Model
+}
+
+func (e *Engine) Baseline() *Model {
+	if e.base != nil {
+		return e.base
+	}
+	e.once.Do(func() {
+		e.base = &Model{n: 1}
+	})
+	return e.base
+}
+`
+	got := runFixture(t, Lookup("racecontract"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "racecontract", 13, 14)
+	for _, want := range []string{"Engine.base", "once", "sync/atomic"} {
+		if !strings.Contains(got[0].Message, want) {
+			t.Errorf("message should name the contract (%q): %s", want, got[0].Message)
+		}
+	}
+}
+
+// TestRaceContractWrapperAware drives the contract through summaries: an
+// unexported helper writes the field, so the guard evidence and the
+// violations both live at call sites, not at the literal store.
+func TestRaceContractWrapperAware(t *testing.T) {
+	src := `package bad
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) fill() { s.n = 42 }
+
+func (s *S) Init() {
+	s.mu.Lock()
+	s.fill()
+	s.mu.Unlock()
+}
+
+func (s *S) Bad() int {
+	s.fill()
+	return s.n
+}
+`
+	got := runFixture(t, Lookup("racecontract"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "racecontract", 19, 20)
+}
+
+// TestRaceContractPublishedWrite is the R2 rule: a write to a value
+// already reachable from another goroutine needs a guard even when no
+// package contract exists for the field.
+func TestRaceContractPublishedWrite(t *testing.T) {
+	src := `package bad
+
+type W struct{ n int }
+
+func Leak(w *W, ch chan *W) {
+	ch <- w
+	w.n = 1
+}
+`
+	got := runFixture(t, Lookup("racecontract"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "racecontract", 7)
+	if !strings.Contains(got[0].Message, "published") {
+		t.Errorf("message should say the value was published: %s", got[0].Message)
+	}
+}
+
+// TestRaceContractSpawnPair is the pair rule: a spawned goroutine's
+// unguarded field access racing a same-field access positioned after
+// the spawn, with at least one side writing.
+func TestRaceContractSpawnPair(t *testing.T) {
+	src := `package bad
+
+type W struct{ n int }
+
+func Pair(w *W) {
+	go func() { w.n = 1 }()
+	_ = w.n
+}
+`
+	got := runFixture(t, Lookup("racecontract"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "racecontract", 6)
+}
+
+// TestRaceContractCleanPatterns covers the idioms the analyzer must not
+// flag: lock-held writes and reads (defer included), owned locals,
+// goroutine-private copies, and the reply-channel handoff where the
+// spawned goroutine builds a fresh value and sends it exactly once.
+func TestRaceContractCleanPatterns(t *testing.T) {
+	src := `package good
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func Fresh() *S {
+	s := &S{}
+	s.n = 1
+	return s
+}
+
+type R struct{ n int }
+
+func Reply() int {
+	ch := make(chan *R)
+	go func() {
+		r := &R{}
+		r.n = 1
+		ch <- r
+	}()
+	out := <-ch
+	return out.n
+}
+
+type Opt struct{ Trace []int }
+
+func Copy(opt Opt, f func(func(int))) {
+	f(func(i int) {
+		o := opt
+		o.Trace = nil
+		_ = o
+	})
+}
+`
+	got := runFixture(t, Lookup("racecontract"), "mobilstm/internal/good", "internal/good/good.go", src)
+	if len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%v", got)
+	}
+}
+
+// --- detfloat ---------------------------------------------------------
+
+func TestDetFloatFlagsReductions(t *testing.T) {
+	src := `package bad
+
+func Sum(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func Fma(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s = s + a[i]*b[i]
+	}
+	return s
+}
+
+func Elementwise(dst, a []float32) {
+	for i := range dst {
+		dst[i] += a[i]
+	}
+}
+
+func Wide(xs []float32) float32 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return float32(s)
+}
+
+func LoopLocal(xs []float32) {
+	for i := range xs {
+		var t float32
+		t += xs[i]
+		_ = t
+	}
+}
+`
+	got := runFixture(t, Lookup("detfloat"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "detfloat", 6, 14)
+	if !strings.Contains(got[1].Message, "FMA-shaped") {
+		t.Errorf("multiply-accumulate should be called out as FMA-shaped: %s", got[1].Message)
+	}
+	if !strings.Contains(got[0].Message, "serial-equivalence") {
+		t.Errorf("message should name the contract: %s", got[0].Message)
+	}
+}
+
+// TestDetFloatExemptsCanonicalChain: dotRowGeneric in the tensor
+// package IS the contract; the same loop under any other name is not.
+func TestDetFloatExemptsCanonicalChain(t *testing.T) {
+	src := `package tensor
+
+func dotRowGeneric(row, x []float32) float32 {
+	var s float32
+	for i := range row {
+		s += row[i] * x[i]
+	}
+	return s
+}
+
+func Sum(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+	got := runFixture(t, Lookup("detfloat"), "mobilstmfix/internal/tensor", "internal/tensor/kernel.go", src)
+	wantLines(t, got, "detfloat", 14)
+}
+
+// --- goroutinejoin ----------------------------------------------------
+
+func TestGoroutineJoinFlagsLeaks(t *testing.T) {
+	src := `package bad
+
+import "sync"
+
+func Leak() {
+	go func() {
+		_ = 1
+	}()
+}
+
+func AddAfter() {
+	var wg sync.WaitGroup
+	go func() { wg.Done() }()
+	wg.Add(1)
+	wg.Wait()
+}
+`
+	got := runFixture(t, Lookup("goroutinejoin"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "goroutinejoin", 6, 13)
+	if !strings.Contains(got[0].Message, "join path") {
+		t.Errorf("message should explain the obligation: %s", got[0].Message)
+	}
+}
+
+// TestGoroutineJoinCleanPatterns covers every join shape the repo uses:
+// the Add/Done pair (deferred, direct, and handed to a helper), the
+// result-channel handoff, close-as-completion, a channel-bounded body,
+// and a spawned method whose receiver field bounds its lifetime (the
+// serve worker-loop shape).
+func TestGoroutineJoinCleanPatterns(t *testing.T) {
+	src := `package good
+
+import "sync"
+
+func Join() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func Named() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go worker(&wg)
+	go func() { worker(&wg) }()
+	wg.Wait()
+}
+
+func Handoff() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func CloseJoin() {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	for range ch {
+	}
+}
+
+func Bound(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+type Srv struct {
+	dispatch chan int
+}
+
+func (s *Srv) loop() {
+	for range s.dispatch {
+	}
+}
+
+func (s *Srv) Start() {
+	go s.loop()
+}
+`
+	got := runFixture(t, Lookup("goroutinejoin"), "mobilstm/internal/good", "internal/good/good.go", src)
+	if len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%v", got)
+	}
+}
+
+// --- kernelcontracts --------------------------------------------------
+
+func TestKernelContractsTensorCoverage(t *testing.T) {
+	src := `package tensor
+
+type Vector []float32
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+func Gemv(dst Vector, m *Matrix, x Vector) {}
+
+func FusedMagic(dst Vector, m *Matrix) {}
+
+func Scale(x float32) float32 { return x }
+`
+	got := runFixture(t, Lookup("kernelcontracts"), "mobilstmfix/internal/tensor", "internal/tensor/tensor.go", src)
+	wantLines(t, got, "kernelcontracts", 12)
+	if !strings.Contains(got[0].Message, "FusedMagic") || !strings.Contains(got[0].Message, "shapecheck") {
+		t.Errorf("message should name the kernel and the registry: %s", got[0].Message)
+	}
+}
+
+func TestKernelContractsBuilderCoverage(t *testing.T) {
+	src := `package kernels
+
+type KernelSpec struct{ Name string }
+
+type Builder struct{}
+
+func (b *Builder) DRS(h, trivial int) KernelSpec { return KernelSpec{} }
+
+func (b *Builder) FusedEW(h, t int) KernelSpec { return KernelSpec{} }
+
+func (b *Builder) Batch(h int) []KernelSpec { return nil }
+
+func (b *Builder) Tissue(h int) (KernelSpec, bool) { return KernelSpec{}, true }
+
+func (b *Builder) helper(h int) KernelSpec { return KernelSpec{} }
+
+func (b *Builder) Name() string { return "" }
+`
+	got := runFixture(t, Lookup("kernelcontracts"), "mobilstmfix/internal/kernels", "internal/kernels/kernels.go", src)
+	wantLines(t, got, "kernelcontracts", 9, 11, 13)
+	if !strings.Contains(got[0].Message, "kernelContracts") {
+		t.Errorf("message should point at the contract table: %s", got[0].Message)
+	}
+}
+
+// --- MHP / ConcurrencyInfo --------------------------------------------
+
+// TestConcurrencyInfo checks the package-level map: spawn sites, value
+// publications, and the transitive Concurrent/MHP closure over the call
+// graph.
+func TestConcurrencyInfo(t *testing.T) {
+	src := `package conc
+
+type Job struct{ n int }
+
+func helper() {}
+
+func spawned() { helper() }
+
+func Main(ch chan *Job, j *Job) {
+	go spawned()
+	ch <- j
+}
+
+func Solo() {}
+`
+	pkg := parseFixture(t, "mobilstm/internal/conc", "internal/conc/conc.go", src)
+	pass := &Pass{Pkg: pkg}
+	ci := pass.Concurrency()
+
+	if len(ci.Spawns) != 1 || !strings.Contains(ci.Spawns[0].Callee, "spawned") {
+		t.Fatalf("spawn sites = %+v, want one naming spawned", ci.Spawns)
+	}
+	if len(ci.Publications) != 1 || ci.Publications[0].Kind != "send" ||
+		!strings.Contains(ci.Publications[0].Type, "Job") {
+		t.Fatalf("publications = %+v, want one send of *Job", ci.Publications)
+	}
+
+	fn := func(name string) *types.Func {
+		obj, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("no function %s in fixture", name)
+		}
+		return obj
+	}
+	if !ci.Concurrent(fn("spawned")) {
+		t.Error("spawned should be concurrent: it is a go target")
+	}
+	if !ci.Concurrent(fn("helper")) {
+		t.Error("helper should be concurrent: spawned calls it")
+	}
+	if ci.Concurrent(fn("Main")) || ci.Concurrent(fn("Solo")) {
+		t.Error("Main and Solo never leave the spawning goroutine")
+	}
+	if !ci.MHP(fn("Main"), fn("spawned")) {
+		t.Error("Main and spawned may overlap: the spawner keeps running")
+	}
+	if ci.MHP(fn("Main"), fn("Solo")) {
+		t.Error("two never-spawned functions are ordered by the call stack")
+	}
+	if ci.MHP(fn("spawned"), fn("spawned")) != true {
+		t.Error("a concurrent function may overlap itself")
+	}
+}
+
+// TestSummaryConcurrencyFacts checks the per-function facts the
+// contract analyzers consume: Spawns, SpawnsParam, DonesParam,
+// CtxWaits, and the field-access transfer of unexported helpers.
+func TestSummaryConcurrencyFacts(t *testing.T) {
+	src := `package facts
+
+import "sync"
+
+func runAsync(f func()) {
+	go f()
+}
+
+func done(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+type S struct{ n int }
+
+func (s *S) fill() { s.n = 1 }
+`
+	pkg := parseFixture(t, "mobilstm/internal/facts", "internal/facts/facts.go", src)
+	pass := &Pass{Pkg: pkg}
+	sum := func(name string) *FuncSummary {
+		obj, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+		s := pass.program().summaryFor(obj)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		return s
+	}
+	if s := sum("runAsync"); !s.Spawns || len(s.SpawnsParam) != 1 || !s.SpawnsParam[0] {
+		t.Errorf("runAsync should spawn its parameter: %+v", s)
+	}
+	if s := sum("done"); len(s.DonesParam) != 1 || !s.DonesParam[0] {
+		t.Errorf("done should Done its WaitGroup parameter: %+v", s)
+	}
+	if s := sum("drain"); len(s.CtxWaits) != 1 || !s.CtxWaits[0] {
+		t.Errorf("drain should wait on its channel parameter: %+v", s)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(pkg.Types.Scope().Lookup("S").Type(), true, pkg.Types, "fill")
+	s := pass.program().summaryFor(obj.(*types.Func))
+	if s == nil || len(s.FieldWrites) == 0 || len(s.FieldWrites[0]) != 1 || s.FieldWrites[0][0] != "n" {
+		t.Errorf("fill should transfer its receiver field write: %+v", s)
+	}
+}

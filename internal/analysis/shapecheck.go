@@ -109,6 +109,52 @@ var kernelContracts = map[string][]kernelArg{
 		{index: 0, name: "h", minLit: 1},
 		{index: 1, name: "layers", minLit: 1},
 	},
+	// Single-dimension recurrent kernels: h must be at least one.
+	"SgemvU":     {{index: 0, name: "h", minLit: 1}},
+	"SgemvUo":    {{index: 0, name: "h", minLit: 1}},
+	"GRUSgemvU":  {{index: 0, name: "h", minLit: 1}},
+	"GRUSgemvZR": {{index: 0, name: "h", minLit: 1}},
+	// density is a float64 ratio, outside the integer lattice; only h
+	// carries a contract.
+	"PrunedSgemv": {{index: 0, name: "h", minLit: 1}},
+	// Tissue and element-wise kernels take h and the tissue/timestep
+	// count, both at least one.
+	"SgemmTissue": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+	},
+	"SgemmTissueUo": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+	},
+	"GRUSgemmTissue": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+	},
+	"LstmEW": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+	},
+	"GRUEW": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+	},
+	// The partial element-wise kernel additionally counts live gates.
+	"LstmEWPartial": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "t", minLit: 1},
+		{index: 2, name: "gates", minLit: 1},
+	},
+	// Eq. 6 relevance scores n candidates; Predict's break count may be
+	// zero (no context breaks in the window) but never negative.
+	"Relevance": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "n", minLit: 1},
+	},
+	"Predict": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "breaks", minLit: 0},
+	},
 }
 
 func runShapeCheck(pass *Pass) []Finding {

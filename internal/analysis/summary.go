@@ -104,6 +104,34 @@ type FuncSummary struct {
 	// return, so the function also discharges the caller's obligation
 	// (wrapper verification).
 	Invalidates []bool
+
+	// Concurrency facts (concurrency.go, racecontract.go):
+
+	// Spawns: the function may start a goroutine, directly or through a
+	// callee.
+	Spawns bool
+	// SpawnsParam[i]: param i is retained or invoked on a spawned
+	// goroutine (the function value handed to Daemons.Go, a struct
+	// captured by a spawned literal), transitively through callees.
+	SpawnsParam []bool
+	// DonesParam[i]: param i is a WaitGroup the function calls Done on
+	// (directly, deferred, or through a callee) — join evidence for a
+	// goroutine running this function.
+	DonesParam []bool
+	// CtxWaits[i]: the function blocks on a channel or context rooted
+	// at param i (receive, range, select, <-ctx.Done()) — its lifetime
+	// is bounded by that parameter.
+	CtxWaits []bool
+	// FieldWrites[i]/FieldReads[i] list the fields of param i the
+	// function accesses with no guard of its own: the racecontract
+	// check transfers to call sites, which know the guard state
+	// (non-nil only when any parameter has unguarded accesses).
+	FieldWrites [][]string
+	FieldReads  [][]string
+	// ResultSettled[i]: result i is a value whose sync.Once completed
+	// on every return path (engine() returning a built slot) — callers
+	// may access its contracted fields without re-guarding.
+	ResultSettled []bool
 }
 
 // summaryKey names a function across type-check worlds: go/types
@@ -171,6 +199,7 @@ type Program struct {
 	pkgs     map[string]*Package // base packages by import path
 	computed map[string]*pkgSummaries
 	inflight map[string]*pkgSummaries // partially computed (SCC iteration)
+	conc     map[string]*ConcurrencyInfo
 	cache    *SummaryCache
 }
 
@@ -185,6 +214,7 @@ func newProgram(pkgs []*Package, cache *SummaryCache) *Program {
 		pkgs:     map[string]*Package{},
 		computed: map[string]*pkgSummaries{},
 		inflight: map[string]*pkgSummaries{},
+		conc:     map[string]*ConcurrencyInfo{},
 		cache:    cache,
 	}
 	for _, pkg := range pkgs {
@@ -311,6 +341,12 @@ func (pr *Program) summarize(pkg *Package, fi *funcInfo) *FuncSummary {
 	fw := newFactsWalker(pass, fi.decl, params)
 	fw.run()
 	fw.fill(s)
+	rs := newRaceScanner(pass, fi.decl, params)
+	rs.run()
+	rs.fill(s)
+	cw := newConcWalker(pass, fi.decl, params)
+	cw.run()
+	cw.fill(s)
 	return s
 }
 
@@ -505,6 +541,14 @@ type summaryJSON struct {
 	Escapes     []int    `json:"escapes,omitempty"`
 	Mutates     []int    `json:"mutates,omitempty"`
 	Invalidates []int    `json:"invalidates,omitempty"`
+
+	Spawns        bool     `json:"spawns,omitempty"`
+	SpawnsParam   []int    `json:"spawns_param,omitempty"`
+	DonesParam    []int    `json:"dones_param,omitempty"`
+	CtxWaits      []int    `json:"ctx_waits,omitempty"`
+	FieldWrites   []string `json:"field_writes,omitempty"`
+	FieldReads    []string `json:"field_reads,omitempty"`
+	ResultSettled []int    `json:"result_settled,omitempty"`
 }
 
 // DumpSummaries computes (or retrieves) the summaries of every base
@@ -556,6 +600,39 @@ func DumpSummaries(pkgs []*Package, cache *SummaryCache) ([]byte, error) {
 		for i := range s.Invalidates {
 			if s.Invalidates[i] {
 				j.Invalidates = append(j.Invalidates, i)
+			}
+		}
+		j.Spawns = s.Spawns
+		for i := range s.SpawnsParam {
+			if s.SpawnsParam[i] {
+				j.SpawnsParam = append(j.SpawnsParam, i)
+			}
+		}
+		for i := range s.DonesParam {
+			if s.DonesParam[i] {
+				j.DonesParam = append(j.DonesParam, i)
+			}
+		}
+		for i := range s.CtxWaits {
+			if s.CtxWaits[i] {
+				j.CtxWaits = append(j.CtxWaits, i)
+			}
+		}
+		for i, fields := range s.FieldWrites {
+			if len(fields) > 0 {
+				j.FieldWrites = append(j.FieldWrites,
+					fmt.Sprintf("p%d:%s", i, strings.Join(fields, "+")))
+			}
+		}
+		for i, fields := range s.FieldReads {
+			if len(fields) > 0 {
+				j.FieldReads = append(j.FieldReads,
+					fmt.Sprintf("p%d:%s", i, strings.Join(fields, "+")))
+			}
+		}
+		for i := range s.ResultSettled {
+			if s.ResultSettled[i] {
+				j.ResultSettled = append(j.ResultSettled, i)
 			}
 		}
 		// Trim all-empty alias columns for a compact artifact.

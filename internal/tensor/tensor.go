@@ -159,16 +159,14 @@ func Mul(dst, a, b Vector) {
 	}
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b, reduced through the same
+// dotRow chain as Gemv so a standalone inner product is bitwise
+// identical to the matching matrix row product.
 func Dot(a, b Vector) float32 {
 	if len(a) != len(b) {
 		Panicf("tensor: Dot length mismatch")
 	}
-	var s float32
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+	return dotRow(a, b)
 }
 
 // AbsRowSums returns d[i] = Σ_j |m[i][j]|, the per-row L1 norms used by
@@ -183,6 +181,7 @@ func AbsRowSums(m *Matrix) Vector {
 			if v < 0 {
 				v = -v
 			}
+			//lint:ignore detfloat Algorithm 2's L1 norms are a one-time offline bound, never on the logit path; the serial per-row order is itself deterministic
 			s += v
 		}
 		d[i] = s
