@@ -8,8 +8,8 @@
 GO ?= go
 
 .PHONY: build test race vet vet386 lint lint-json lint-ci fuzz-smoke \
-	serve-race determinism-race batch-race bench-json bench-batch \
-	serve-smoke check
+	serve-race determinism-race batch-race fleet-race bench-json \
+	bench-batch serve-smoke fleet-smoke check
 
 build:
 	$(GO) build ./...
@@ -112,11 +112,28 @@ bench-batch:
 	$(GO) test -run='^$$' -bench='^BenchmarkRunBatch' -benchmem \
 		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
+# Focused race gate for the fleet tier: sharded routing, the shared
+# single-flight engine cache, cold/warm charge accounting, and the
+# concurrent Warm/Submit/Stats/Close interleavings. Already inside
+# `make race`; kept separate so CI reruns it -count=2.
+fleet-race:
+	$(GO) test -race -count=2 \
+		-run 'Fleet|Concurrent|Warm|Cold|StaleTick|Transient|Dropped' \
+		./internal/serve/
+
 # End-to-end scenario smoke of the serving binary: a short open-loop
 # run over one benchmark on the quick profile. Exercises the batching
 # window, the worker pool, and the packed hot path under real traffic.
 serve-smoke:
 	$(GO) run ./cmd/mobilstm-serve -benches MR -requests 12 -interarrival 1 -seed 7
+
+# Fleet smoke: the cold-then-prewarmed validation protocol over a
+# three-shard heterogeneous fleet. Asserts one cold build per benchmark
+# fleet-wide (single-flight cache), full pre-warm propagation, and warm
+# p99 < cold p99.
+fleet-smoke:
+	$(GO) run ./cmd/mobilstm-serve -shards 3 -fleetcheck \
+		-benches MR,BABI -requests 16 -interarrival 1 -seed 7
 
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...

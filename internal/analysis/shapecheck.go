@@ -109,6 +109,16 @@ var kernelContracts = map[string][]kernelArg{
 		{index: 0, name: "h", minLit: 1},
 		{index: 1, name: "layers", minLit: 1},
 	},
+	// Engine-materialization cost sequences (cold build / warm artifact
+	// install): both take the model shape, at least one each.
+	"EngineBuild": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "layers", minLit: 1},
+	},
+	"EngineInstall": {
+		{index: 0, name: "h", minLit: 1},
+		{index: 1, name: "layers", minLit: 1},
+	},
 	// Single-dimension recurrent kernels: h must be at least one.
 	"SgemvU":     {{index: 0, name: "h", minLit: 1}},
 	"SgemvUo":    {{index: 0, name: "h", minLit: 1}},

@@ -10,6 +10,25 @@ import (
 	"mobilstm/internal/sched"
 )
 
+// FleetClasses assigns a simulated device class to each of n fleet
+// shards by round-robin over the Table I platform generations
+// (gpu.Platforms: Tegra K1/X1/X2) — the ready-made heterogeneous
+// hardware mix the ROADMAP's fleet-sharding item calls for. Shard i
+// always gets the same class, so fleet layouts are reproducible across
+// runs and the per-shard cost model (batch GPU time, cold-start build
+// cost) is a pure function of the shard index.
+func FleetClasses(n int) []gpu.Config {
+	if n < 1 {
+		n = 1
+	}
+	plats := gpu.Platforms()
+	out := make([]gpu.Config, n)
+	for i := range out {
+		out[i] = plats[i%len(plats)]
+	}
+	return out
+}
+
 // CrossPlatform evaluates the framework across GPU generations (§IV-C:
 // "the MTS is determined by the GPU configurations, a framework is needed
 // to dynamically implement the LSTM layer reorganization scheme ... on

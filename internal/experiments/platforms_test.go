@@ -44,3 +44,16 @@ func TestCrossPlatformPanicsOnUnknown(t *testing.T) {
 	}()
 	s.CrossPlatform("bogus")
 }
+
+func TestFleetClassesRoundRobin(t *testing.T) {
+	plats := gpu.Platforms()
+	classes := FleetClasses(2*len(plats) + 1)
+	for i, c := range classes {
+		if want := plats[i%len(plats)].Name; c.Name != want {
+			t.Fatalf("shard %d class %q, want %q (deterministic round-robin)", i, c.Name, want)
+		}
+	}
+	if got := FleetClasses(0); len(got) != 1 {
+		t.Fatalf("FleetClasses(0) gave %d classes, want clamp to 1", len(got))
+	}
+}

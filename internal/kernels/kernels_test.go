@@ -215,3 +215,37 @@ func TestSgemmWxComputeBound(t *testing.T) {
 		t.Fatalf("Sgemm DRAM-bound: dram %v vs compute %v", k.DRAMCycles, k.ComputeCycles)
 	}
 }
+
+func TestEngineBuildDominatesInstall(t *testing.T) {
+	// The cold/warm gap the fleet's engine cache exists to exploit: a
+	// cold build (JIT the kernel-variant family + weight upload) must
+	// cost far more than adopting a peer's warm artifact (unpack +
+	// upload only) — otherwise pre-warm propagation would be pointless.
+	sim := gpu.NewSimulator(gpu.TegraX1())
+	b := builder()
+	cold := sim.Run(b.EngineBuild(256, 3)).Seconds
+	warm := sim.Run(b.EngineInstall(256, 3)).Seconds
+	if cold <= 0 || warm <= 0 {
+		t.Fatalf("non-positive costs: cold %v warm %v", cold, warm)
+	}
+	if cold < 10*warm {
+		t.Fatalf("cold build %.3fs not >> warm install %.3fs", cold, warm)
+	}
+}
+
+func TestEngineCostsScaleWithModel(t *testing.T) {
+	// The upload term tracks the weight footprint, so bigger models
+	// must cost strictly more to materialize on both paths.
+	sim := gpu.NewSimulator(gpu.TegraX1())
+	b := builder()
+	smallB := sim.Run(b.EngineBuild(128, 1)).Seconds
+	bigB := sim.Run(b.EngineBuild(650, 3)).Seconds
+	if bigB <= smallB {
+		t.Fatalf("build cost not monotone: h=128/L=1 %.4fs vs h=650/L=3 %.4fs", smallB, bigB)
+	}
+	smallI := sim.Run(b.EngineInstall(128, 1)).Seconds
+	bigI := sim.Run(b.EngineInstall(650, 3)).Seconds
+	if bigI <= smallI {
+		t.Fatalf("install cost not monotone: %.4fs vs %.4fs", smallI, bigI)
+	}
+}

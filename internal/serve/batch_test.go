@@ -185,3 +185,81 @@ func TestMalformedMemberIsolated(t *testing.T) {
 		t.Fatalf("RunBatches=%d Errors=%d Served=%d, want 1/1/2", b.RunBatches, b.Errors, b.Served)
 	}
 }
+
+// TestAllCancelledWindowDropped is the regression test for the
+// accounting hole where a window whose members all cancelled returned
+// early without touching the window counters: the dispatch must now be
+// counted (and marked dropped) so MeanBatch reflects dispatch reality.
+func TestAllCancelledWindowDropped(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = time.Hour
+	cfg.MaxBatch = 64
+	s := New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 2
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Submit(ctx, Request{Bench: "MR"})
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Stats()
+		if len(snap.Benches) == 1 && snap.Benches[0].Submitted == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests never registered as submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	s.Close() // flushes the window; every member is already dead
+
+	b := s.Stats().Benches[0]
+	if b.Cancelled != n || b.Served != 0 {
+		t.Fatalf("Cancelled=%d Served=%d, want %d/0", b.Cancelled, b.Served, n)
+	}
+	if b.Windows != 1 || b.DroppedWindows != 1 {
+		t.Fatalf("Windows=%d DroppedWindows=%d, want 1/1 (dispatch must be counted)", b.Windows, b.DroppedWindows)
+	}
+	if b.RunBatches != 0 {
+		t.Fatalf("RunBatches=%d, want 0 (nothing launched)", b.RunBatches)
+	}
+	if b.MeanBatch != 0 {
+		t.Fatalf("MeanBatch=%.2f, want 0 over one empty dispatched window", b.MeanBatch)
+	}
+}
+
+// TestAllMalformedWindowDropped: a window whose only member is
+// mis-shaped serves nobody — it must count as a dispatched, dropped
+// window rather than vanish from the batch statistics.
+func TestAllMalformedWindowDropped(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0
+	s := New(cfg)
+	defer s.Close()
+
+	slot := slotFor(t, s, "MR")
+	corpus, _ := slot.eng.Inst.AccSeqs()
+	bad := []tensor.Vector{tensor.NewVector(len(corpus[0][0]) + 1)}
+	if _, err := s.Submit(context.Background(), Request{Bench: "MR", Seq: bad, Ref: -1}); err == nil {
+		t.Fatal("malformed request served")
+	}
+
+	b := s.Stats().Benches[0]
+	if b.Errors != 1 || b.Served != 0 {
+		t.Fatalf("Errors=%d Served=%d, want 1/0", b.Errors, b.Served)
+	}
+	if b.Windows != 1 || b.DroppedWindows != 1 {
+		t.Fatalf("Windows=%d DroppedWindows=%d, want 1/1", b.Windows, b.DroppedWindows)
+	}
+	if b.RunBatches != 0 {
+		t.Fatalf("RunBatches=%d, want 0", b.RunBatches)
+	}
+}

@@ -1,0 +1,127 @@
+// Warm-engine artifact cache: the fleet-wide store that turns one
+// shard's cold engine build into every peer's warm install, the
+// GKM-style kernel-cache propagation mechanism applied to serving
+// engines. An artifact packages everything a shard needs to serve a
+// benchmark — the calibrated engine, its resolved threshold set and run
+// options — all derived on the fleet's reference GPU, so an adopting
+// shard classifies bitwise identically to the shard that built it and
+// pays only the (much smaller) install cost of unpacking and uploading
+// the weights on its own device class.
+package serve
+
+import (
+	"sync"
+
+	"mobilstm/internal/core"
+	"mobilstm/internal/lstm"
+)
+
+// EngineArtifact is one benchmark's warm serving state, as published by
+// the shard that built it cold.
+type EngineArtifact struct {
+	Eng  *core.Engine
+	Set  int
+	Opts lstm.RunOptions
+}
+
+// EngineCache is a shared, concurrency-safe artifact store keyed by
+// artifactKey, with fleet-wide single-flight build semantics: the first
+// shard to miss a key registers as its builder, and peers that miss the
+// same key while the build is in flight block until it settles instead
+// of paying a duplicate cold build — so even fully cold traffic with
+// hot-benchmark rebalancing costs the fleet exactly one build per
+// benchmark. A nil *EngineCache is valid and always misses — standalone
+// servers run without one.
+type EngineCache struct {
+	mu       sync.Mutex
+	arts     map[string]*EngineArtifact
+	building map[string]chan struct{}
+	hits     int64
+	misses   int64
+}
+
+// NewEngineCache returns an empty cache, ready to share across shards.
+func NewEngineCache() *EngineCache {
+	return &EngineCache{
+		arts:     make(map[string]*EngineArtifact),
+		building: make(map[string]chan struct{}),
+	}
+}
+
+// Acquire resolves a key: a hit returns the artifact; a miss with no
+// build in flight registers the caller as the key's builder (the caller
+// MUST settle with Store or Abort); a miss with a peer's build in
+// flight blocks until that build settles and re-resolves — becoming the
+// new builder itself if the peer aborted.
+func (c *EngineCache) Acquire(key string) (*EngineArtifact, bool) {
+	if c == nil {
+		return nil, false
+	}
+	for {
+		c.mu.Lock()
+		if art, ok := c.arts[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return art, true
+		}
+		ch, busy := c.building[key]
+		if !busy {
+			c.building[key] = make(chan struct{})
+			c.misses++
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.mu.Unlock()
+		<-ch
+	}
+}
+
+// Store publishes the builder's artifact and releases every peer
+// blocked in Acquire. The first publish wins so every install adopts
+// one consistent artifact.
+func (c *EngineCache) Store(key string, art *EngineArtifact) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.arts[key]; !ok {
+		c.arts[key] = art
+	}
+	if ch, ok := c.building[key]; ok {
+		delete(c.building, key)
+		close(ch)
+	}
+}
+
+// Abort releases a failed builder's registration without publishing:
+// blocked peers wake and the first one becomes the new builder — the
+// cache-level counterpart of the retryable (non-sticky) engine slot.
+func (c *EngineCache) Abort(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.building[key]; ok {
+		delete(c.building, key)
+		close(ch)
+	}
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Artifacts int
+	Hits      int64
+	Misses    int64
+}
+
+// Stats snapshots the cache counters.
+func (c *EngineCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Artifacts: len(c.arts), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allowedServeErr filters the error outcomes a racing client may
+// legitimately see while the server is being hammered and closed:
+// success, a full queue, a closed server, or its own context ending.
+func allowedServeErr(err error) bool {
+	return err == nil ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// TestConcurrentWarmSubmitStatsClose hammers every public entry point
+// of one server at once — Warm, Submit, Stats/Report, and a Close
+// racing all of them. Run under -race it pins the surface the fleet
+// layer multiplies: the engine registry with charge-taking, the stats
+// mutex with per-benchmark baselines, and the close/drain path.
+func TestConcurrentWarmSubmitStatsClose(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = time.Millisecond
+	s := New(cfg)
+	benches := []string{"MR", "BABI"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := s.Submit(ctx, Request{Bench: benches[(i+j)%len(benches)]})
+				cancel()
+				if !allowedServeErr(err) {
+					t.Errorf("submit: %v", err)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				if err := s.Warm(benches[(i+j)%len(benches)]); err != nil {
+					t.Errorf("warm: %v", err)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				snap := s.Stats()
+				if snap.Utilization < 0 {
+					t.Errorf("negative utilization %v", snap.Utilization)
+				}
+				_ = snap.Report().String()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		s.Close()
+	}()
+	wg.Wait()
+	s.Close()
+}
+
+// TestFleetConcurrentRace is the fleet-level interleaving test:
+// concurrent routed submits, pre-warm propagation, fleet snapshots and
+// a racing Close across heterogeneous shards sharing one engine cache.
+func TestFleetConcurrentRace(t *testing.T) {
+	cfg := tinyFleetConfig()
+	cfg.Shards = 2
+	cfg.Base.BatchWindow = time.Millisecond
+	f := NewFleet(cfg)
+	benches := []string{"MR", "BABI"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := f.Submit(ctx, Request{Bench: benches[(i+j)%len(benches)]})
+				cancel()
+				if !allowedServeErr(err) {
+					t.Errorf("fleet submit: %v", err)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := f.Warm(benches[i%len(benches)]); err != nil {
+				t.Errorf("fleet warm: %v", err)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 8; j++ {
+			snap := f.Stats()
+			if snap.ColdBuilds < 0 {
+				t.Errorf("negative cold builds")
+			}
+			_ = snap.Report().String()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		f.Close()
+	}()
+	wg.Wait()
+	f.Close()
+}

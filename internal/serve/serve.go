@@ -26,6 +26,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -57,10 +58,30 @@ const AutoSet = -1
 
 // Config shapes a Server.
 type Config struct {
-	// GPU is the simulated platform; Profile the model evaluation
-	// profile (quick or full shapes).
+	// GPU is the simulated platform the serving engine is calibrated
+	// against (the fleet's reference device); Profile the model
+	// evaluation profile (quick or full shapes).
 	GPU     gpu.Config
 	Profile model.Profile
+
+	// Device, when set (non-empty Name), is the simulated device class
+	// this server's *cost model* runs on: batch GPU time, cold-start
+	// build cost and utilization are priced on Device while the
+	// classification artifact stays calibrated on GPU. The fleet layer
+	// uses this to model heterogeneous shards that serve one shared,
+	// bitwise-identical engine artifact. Zero value means Device == GPU.
+	Device gpu.Config
+
+	// Cache, when non-nil, is a shared warm-engine cache: engine builds
+	// consult it first (a hit adopts the artifact and pays only the
+	// install cost), and a cold build publishes its artifact for peers —
+	// the GKM-style cache-propagation mechanism behind fleet pre-warming.
+	Cache *EngineCache
+
+	// buildHook, when non-nil, runs at the start of every engine build
+	// and aborts it when it errors. Test seam for transient build
+	// failures; nil in production.
+	buildHook func(bench string) error
 
 	// Mode is the execution flow served (default Combined); Set the
 	// threshold set, or AutoSet for the per-benchmark AO point.
@@ -123,11 +144,22 @@ type Response struct {
 	// BatchSize is the number of live requests in this request's batch.
 	BatchSize int
 	// WaitMs is the real queueing wait (arrival to dispatch); GPUMs the
-	// simulated batch GPU time; LatencyMs their sum — the end-to-end
-	// response time of the §II-C batching trade.
+	// simulated batch GPU time; ColdMs the engine-materialization cost
+	// charged to this request's window (a cold JIT build, or the smaller
+	// warm-artifact install, on the first window after the engine came
+	// up under traffic; zero once the engine is warm); LatencyMs their
+	// sum — the end-to-end response time of the §II-C batching trade
+	// extended with the cold-start term.
 	WaitMs    float64
 	GPUMs     float64
+	ColdMs    float64
 	LatencyMs float64
+	// Cold marks a response whose window paid a cold engine *build* (not
+	// a warm install): the fleet's cold-start p99 is measured over these.
+	Cold bool
+	// Shard is the fleet shard that served the request; 0 on a
+	// standalone server.
+	Shard int
 }
 
 // request is the queued form of a Request.
@@ -234,19 +266,27 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 
 // Warm builds a benchmark's serving engine (including its AO threshold
 // sweep when Set is AutoSet) ahead of traffic, so first-request latency
-// reflects steady-state serving rather than engine construction. It
-// returns the build error, if any; concurrent Warm calls share one
-// build. Warm also restarts the uptime clock, so Stats throughput is
-// measured over post-warm traffic.
+// reflects steady-state serving rather than engine construction: the
+// pending engine-materialization charge is absorbed here instead of
+// being billed to the first request window. It returns the build error,
+// if any; concurrent Warm calls share one build, and a failed build is
+// retried by the next Warm or request instead of poisoning the
+// benchmark. Warm restarts only this benchmark's activity baseline, so
+// its Stats throughput is measured over post-warm traffic — other
+// benchmarks' windows are untouched (it used to reset the global uptime
+// clock, silently deflating every already-serving benchmark's
+// Throughput).
 func (s *Server) Warm(bench string) error {
 	if _, err := experiments.Lookup(bench); err != nil {
 		return err
 	}
-	err := s.engine(bench).err
-	s.statsMu.Lock()
-	s.start = time.Now()
-	s.statsMu.Unlock()
-	return err
+	slot := s.engine(bench)
+	if slot.err != nil {
+		return slot.err
+	}
+	slot.takeCharge()
+	s.bump(bench, func(st *benchStats) { st.first = time.Now() })
+	return nil
 }
 
 // Close stops accepting requests, drains the queue and the batching
@@ -276,11 +316,31 @@ type pendingBatch struct {
 // window deadline — the queueing wait the §II-C analysis charges
 // against server-style weight reuse. On queue close it flushes every
 // open window so Close drains gracefully.
+//
+// The deadline timer follows the Stop-and-drain idiom: Reset on a timer
+// whose tick already fired (a size-triggered dispatch raced the window
+// deadline) would leave the stale tick in the channel, so a later
+// select iteration would "fire" with the old timestamp and flush
+// against a stale now. The timer is therefore disarmed (Stop + drain)
+// before every Reset, left disarmed while no window is open, and flush
+// always evaluates deadlines against a fresh time.Now().
 func (s *Server) batchLoop() {
 	defer close(s.dispatch)
 	pending := make(map[string]*pendingBatch)
 	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
+	armed := true
+	// disarm stops the timer and drains a tick that fired before the
+	// Stop landed, so the channel is provably empty afterwards.
+	disarm := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	disarm()
 
 	flush := func(now time.Time, all bool) {
 		for _, name := range sortedBatchKeys(pending) {
@@ -295,8 +355,14 @@ func (s *Server) batchLoop() {
 	for {
 		var timeC <-chan time.Time
 		if next, ok := earliestDeadline(pending); ok {
+			if armed {
+				disarm()
+			}
 			timer.Reset(time.Until(next))
+			armed = true
 			timeC = timer.C
+		} else if armed {
+			disarm()
 		}
 		select {
 		case r, ok := <-s.queue:
@@ -314,8 +380,12 @@ func (s *Server) batchLoop() {
 				delete(pending, r.Bench)
 				s.dispatch <- pb.reqs
 			}
-		case now := <-timeC:
-			flush(now, false)
+		case <-timeC:
+			// The tick is consumed, so the timer is disarmed by
+			// definition; deadlines are re-evaluated against the wall
+			// clock, not the (possibly delayed) tick timestamp.
+			armed = false
+			flush(time.Now(), false)
 		}
 	}
 }
@@ -360,6 +430,12 @@ func (s *Server) workerLoop() {
 // before the GPU launch is sized; malformed caller-supplied sequences
 // get per-request error responses without sinking the rest of the
 // batch.
+//
+// Accounting invariant: every dispatched window bumps batches exactly
+// once; a window that serves nobody (all cancelled, all malformed, or
+// an engine/classify error) additionally bumps dropped, so MeanBatch
+// and the realized weight-reuse factor reflect dispatch reality instead
+// of silently skipping empty windows.
 func (s *Server) serveBatch(batch []*request) {
 	bench := batch[0].Bench
 	slot := s.engine(bench)
@@ -367,7 +443,11 @@ func (s *Server) serveBatch(batch []*request) {
 		for _, r := range batch {
 			r.resp <- result{err: slot.err}
 		}
-		s.bump(bench, func(st *benchStats) { st.errors += int64(len(batch)) })
+		s.bump(bench, func(st *benchStats) {
+			st.errors += int64(len(batch))
+			st.batches++
+			st.dropped++
+		})
 		return
 	}
 
@@ -381,6 +461,10 @@ func (s *Server) serveBatch(batch []*request) {
 		live = append(live, r)
 	}
 	if len(live) == 0 {
+		s.bump(bench, func(st *benchStats) {
+			st.batches++
+			st.dropped++
+		})
 		return
 	}
 
@@ -416,6 +500,10 @@ func (s *Server) serveBatch(batch []*request) {
 		valid = append(valid, r)
 	}
 	if len(valid) == 0 {
+		s.bump(bench, func(st *benchStats) {
+			st.batches++
+			st.dropped++
+		})
 		return
 	}
 
@@ -424,6 +512,11 @@ func (s *Server) serveBatch(batch []*request) {
 		var classes []int
 		classes, err = slot.net().ClassifyBatchE(seqs, slot.opts)
 		if err == nil {
+			// The first successfully served window after the engine came
+			// up absorbs the pending materialization charge: a cold JIT
+			// build, or the smaller warm-artifact install. Warm engines
+			// (and pre-warmed ones) carry no charge.
+			coldMs, coldBuild := slot.takeCharge()
 			for i, r := range valid {
 				waitMs := dispatched.Sub(r.arrival).Seconds() * 1e3
 				resp := &Response{
@@ -434,13 +527,20 @@ func (s *Server) serveBatch(batch []*request) {
 					BatchSize: len(valid),
 					WaitMs:    waitMs,
 					GPUMs:     gpuMs,
-					LatencyMs: waitMs + gpuMs,
+					ColdMs:    coldMs,
+					Cold:      coldBuild,
+					LatencyMs: waitMs + gpuMs + coldMs,
 				}
 				s.bump(bench, func(st *benchStats) {
 					st.served++
 					st.waitSum += resp.WaitMs
 					st.gpuSum += resp.GPUMs
 					st.latencies = append(st.latencies, resp.LatencyMs)
+					if resp.Cold {
+						st.coldLats = append(st.coldLats, resp.LatencyMs)
+					} else {
+						st.warmLats = append(st.warmLats, resp.LatencyMs)
+					}
 					st.set = slot.set
 					if resp.Ref >= 0 {
 						st.scored++
@@ -455,6 +555,7 @@ func (s *Server) serveBatch(batch []*request) {
 				st.batches++
 				st.runBatches++
 				st.sumBatch += int64(len(valid))
+				st.busyMs += gpuMs + coldMs
 			})
 			return
 		}
@@ -462,13 +563,17 @@ func (s *Server) serveBatch(batch []*request) {
 	for _, r := range valid {
 		r.resp <- result{err: err}
 	}
-	s.bump(bench, func(st *benchStats) { st.errors += int64(len(valid)) })
+	s.bump(bench, func(st *benchStats) {
+		st.errors += int64(len(valid))
+		st.batches++
+		st.dropped++
+	})
 }
 
 // engineSlot is one benchmark's shared serving state: the engine (built
 // once, then shared by every worker), the resolved threshold set and
-// its run options, the corpus cursor, and the per-batch-size GPU cost
-// cache.
+// its run options, the corpus cursor, the pending engine-materialization
+// charge, and the per-batch-size GPU cost cache.
 type engineSlot struct {
 	once sync.Once
 	err  error
@@ -476,6 +581,18 @@ type engineSlot struct {
 	eng  *core.Engine
 	set  int
 	opts lstm.RunOptions
+
+	// installed marks a slot that adopted a warm cache artifact instead
+	// of paying the cold build.
+	installed bool
+
+	// chargeMs is the simulated engine-materialization cost on this
+	// server's device class — the full JIT build on a cache miss, the
+	// warm-artifact install on a hit. It is billed exactly once: charge
+	// flips false when Warm or the first served window takes it.
+	chargeMs   float64
+	chargeCold bool
+	charge     atomic.Bool
 
 	cursor atomic.Int64
 
@@ -485,10 +602,24 @@ type engineSlot struct {
 	kb     *kernels.Builder
 }
 
+// takeCharge consumes the slot's pending engine-materialization charge:
+// the milliseconds to add to the taking window's latency and whether
+// that charge was a cold build (vs a warm-artifact install). At most
+// one caller gets a non-zero charge.
+func (slot *engineSlot) takeCharge() (ms float64, coldBuild bool) {
+	if slot.charge.CompareAndSwap(true, false) {
+		return slot.chargeMs, slot.chargeCold
+	}
+	return 0, false
+}
+
 // engine returns (building on first use) the slot for a benchmark. The
 // sync.Once guard means concurrent first requests block on one build
 // instead of racing — the failure mode the Engine.Baseline fix and its
-// -race regression test pin down.
+// -race regression test pin down. A failed build is NOT latched: the
+// poisoned slot is evicted from the registry, so the next request or
+// Warm retries with a fresh slot instead of serving a transient
+// EvaluateSetE failure for the server's lifetime.
 func (s *Server) engine(bench string) *engineSlot {
 	s.mu.Lock()
 	slot, ok := s.engines[bench]
@@ -497,19 +628,71 @@ func (s *Server) engine(bench string) *engineSlot {
 		s.engines[bench] = slot
 	}
 	s.mu.Unlock()
-	slot.once.Do(func() { slot.build(bench, s.cfg) })
+	slot.once.Do(func() {
+		slot.build(bench, s.cfg)
+		switch {
+		case slot.err != nil:
+		case slot.installed:
+			s.bump(bench, func(st *benchStats) { st.installs++ })
+		default:
+			s.bump(bench, func(st *benchStats) { st.coldBuilds++ })
+		}
+	})
+	if slot.err != nil {
+		s.mu.Lock()
+		if s.engines[bench] == slot {
+			delete(s.engines, bench)
+		}
+		s.mu.Unlock()
+	}
 	return slot
 }
 
+// artifactKey identifies an engine artifact in the shared cache: the
+// artifact is a pure function of benchmark, evaluation profile, served
+// mode and threshold-set policy (all calibrated on the fleet's
+// reference GPU), never of the shard's device class.
+func artifactKey(bench string, cfg Config) string {
+	return fmt.Sprintf("%s|%s|%d|%d", bench, cfg.Profile.Name, cfg.Mode, cfg.Set)
+}
+
 func (slot *engineSlot) build(bench string, cfg Config) {
+	if cfg.buildHook != nil {
+		if err := cfg.buildHook(bench); err != nil {
+			slot.err = err
+			return
+		}
+	}
 	b, err := experiments.Lookup(bench)
 	if err != nil {
 		slot.err = err
 		return
 	}
+	// The cost model runs on the shard's device class; the
+	// classification artifact stays calibrated on the reference GPU so
+	// every shard serves bitwise-identical classes.
+	dev := cfg.Device
+	if dev.Name == "" {
+		dev = cfg.GPU
+	}
+	slot.sim = gpu.NewSimulator(dev)
+	slot.kb = kernels.NewBuilder(dev)
+
+	key := artifactKey(bench, cfg)
+	if art, ok := cfg.Cache.Acquire(key); ok {
+		// Warm path: adopt the peer-built artifact and pay only the
+		// install cost (weight upload + unpack) instead of the JIT build.
+		slot.eng, slot.set, slot.opts = art.Eng, art.Set, art.Opts
+		slot.installed = true
+		slot.chargeMs = slot.simMs(slot.kb.EngineInstall(b.Hidden, b.Layers))
+		slot.chargeCold = false
+		slot.charge.Store(true)
+		return
+	}
+	// A miss registered this slot as the key's fleet-wide builder: every
+	// exit below must settle the registration (Store on success, Abort on
+	// failure) or peers block forever.
 	slot.eng = core.NewEngine(b, cfg.Profile, cfg.GPU)
-	slot.sim = gpu.NewSimulator(cfg.GPU)
-	slot.kb = kernels.NewBuilder(cfg.GPU)
 	slot.set = cfg.Set
 	if slot.set == AutoSet {
 		outs := make([]*core.Outcome, core.ThresholdSets)
@@ -517,6 +700,7 @@ func (slot *engineSlot) build(bench string, cfg Config) {
 			o, err := slot.eng.EvaluateSetE(cfg.Mode, i)
 			if err != nil {
 				slot.err = err
+				cfg.Cache.Abort(key)
 				return
 			}
 			outs[i] = o
@@ -524,6 +708,17 @@ func (slot *engineSlot) build(bench string, cfg Config) {
 		slot.set = core.AOSet(outs)
 	}
 	slot.opts = slot.eng.RunOptionsFor(cfg.Mode, slot.set)
+	slot.chargeMs = slot.simMs(slot.kb.EngineBuild(b.Hidden, b.Layers))
+	slot.chargeCold = true
+	slot.charge.Store(true)
+	cfg.Cache.Store(key, &EngineArtifact{Eng: slot.eng, Set: slot.set, Opts: slot.opts})
+}
+
+// simMs prices a launch sequence on the slot's device class. Only
+// called from build (inside the slot's Once), so no cost-cache lock is
+// needed.
+func (slot *engineSlot) simMs(ks []gpu.KernelSpec) float64 {
+	return slot.sim.Run(ks).Seconds * 1e3
 }
 
 func (slot *engineSlot) net() *lstm.Network { return slot.eng.Inst.Net }

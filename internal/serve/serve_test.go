@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -320,4 +321,183 @@ func TestCloseIdempotent(t *testing.T) {
 	s := New(tinyConfig())
 	s.Close()
 	s.Close()
+}
+
+// TestBatchWindowTimerStaleTick is the regression test for the
+// Reset-without-drain timer bug: size-triggered dispatches racing a
+// tight window deadline used to leave a stale tick in the timer
+// channel, so a later iteration flushed against an old timestamp. The
+// test hammers exactly that interleaving — full windows dispatched by
+// size while a second benchmark relies on the deadline — and every
+// request must still be served promptly.
+func TestBatchWindowTimerStaleTick(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxBatch = 2
+	cfg.BatchWindow = time.Millisecond
+	s := New(cfg)
+	defer s.Close()
+	for _, bench := range []string{"MR", "BABI"} {
+		if err := s.Warm(bench); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		var wg sync.WaitGroup
+		submit := func(bench string) {
+			defer wg.Done()
+			if _, err := s.Submit(ctx, Request{Bench: bench}); err != nil {
+				t.Errorf("round %d %s: %v", i, bench, err)
+			}
+		}
+		// Two MR requests fill a window (size-triggered dispatch, racing
+		// the 1ms deadline); the lone BABI request can only dispatch by
+		// deadline — a stale tick would strand or mistime it.
+		wg.Add(3)
+		go submit("MR")
+		go submit("MR")
+		go submit("BABI")
+		wg.Wait()
+		cancel()
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	for _, bs := range s.Stats().Benches {
+		want := int64(rounds)
+		if bs.Bench == "MR" {
+			want = 2 * rounds
+		}
+		if bs.Served != want {
+			t.Errorf("%s: served %d, want %d", bs.Bench, bs.Served, want)
+		}
+	}
+}
+
+// TestTransientBuildErrorRetries is the regression test for the sticky
+// engine-build failure: a transient build error used to latch in the
+// slot's sync.Once and poison the benchmark for the server's lifetime.
+// Now the failed slot is evicted, so once the fault clears the same
+// benchmark serves.
+func TestTransientBuildErrorRetries(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0
+	cfg.buildHook = func(string) error {
+		if fail.Load() {
+			return errors.New("transient build fault")
+		}
+		return nil
+	}
+	s := New(cfg)
+	defer s.Close()
+
+	if _, err := s.Submit(context.Background(), Request{Bench: "MR"}); err == nil {
+		t.Fatal("request served through a failing build")
+	}
+	if err := s.Warm("MR"); err == nil {
+		t.Fatal("Warm succeeded through a failing build")
+	}
+
+	fail.Store(false)
+	resp, err := s.Submit(context.Background(), Request{Bench: "MR"})
+	if err != nil {
+		t.Fatalf("build failure latched; retry did not serve: %v", err)
+	}
+	if resp.Class < 0 {
+		t.Fatalf("bad response %+v", resp)
+	}
+}
+
+// TestWarmKeepsPerBenchBaselines is the two-benchmark regression test
+// for the Warm uptime reset: warming BABI must not restart MR's
+// activity window, so MR's Throughput cannot inflate (the old bug
+// reset the global clock, deflating or distorting every
+// already-serving benchmark's rate).
+func TestWarmKeepsPerBenchBaselines(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0
+	s := New(cfg)
+	defer s.Close()
+
+	if err := s.Warm("MR"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(context.Background(), Request{Bench: "MR"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().Benches[0]
+	if before.Throughput <= 0 || before.WindowS <= 0 {
+		t.Fatalf("MR not measuring: %+v", before)
+	}
+
+	time.Sleep(30 * time.Millisecond)
+	if err := s.Warm("BABI"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Stats()
+	var mr, babi BenchSnapshot
+	for _, bs := range snap.Benches {
+		switch bs.Bench {
+		case "MR":
+			mr = bs
+		case "BABI":
+			babi = bs
+		}
+	}
+	if mr.WindowS < before.WindowS+0.025 {
+		t.Fatalf("MR window shrank after warming BABI: %.3fs -> %.3fs", before.WindowS, mr.WindowS)
+	}
+	if mr.Throughput > before.Throughput {
+		t.Fatalf("MR throughput inflated by warming BABI: %.2f -> %.2f", before.Throughput, mr.Throughput)
+	}
+	if babi.WindowS >= mr.WindowS {
+		t.Fatalf("BABI window %.3fs not younger than MR's %.3fs", babi.WindowS, mr.WindowS)
+	}
+}
+
+// TestColdStartCharge pins the cold-start accounting on a standalone
+// server: the first served window after an under-traffic engine build
+// absorbs the measured build cost, later windows are warm, and the
+// stats split the two populations.
+func TestColdStartCharge(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchWindow = 0
+	s := New(cfg)
+	defer s.Close()
+
+	first, err := s.Submit(context.Background(), Request{Bench: "MR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Cold || first.ColdMs <= 0 {
+		t.Fatalf("first response not cold-charged: %+v", first)
+	}
+	if first.LatencyMs < first.ColdMs {
+		t.Fatalf("latency %.2f excludes cold charge %.2f", first.LatencyMs, first.ColdMs)
+	}
+	second, err := s.Submit(context.Background(), Request{Bench: "MR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cold || second.ColdMs != 0 {
+		t.Fatalf("second response still charged: %+v", second)
+	}
+
+	b := s.Stats().Benches[0]
+	if b.ColdBuilds != 1 || b.Installs != 0 {
+		t.Fatalf("ColdBuilds=%d Installs=%d, want 1/0", b.ColdBuilds, b.Installs)
+	}
+	if b.ColdServed != 1 {
+		t.Fatalf("ColdServed=%d, want 1", b.ColdServed)
+	}
+	if b.ColdP99Ms <= b.WarmP99Ms {
+		t.Fatalf("cold p99 %.2f not above warm p99 %.2f", b.ColdP99Ms, b.WarmP99Ms)
+	}
 }
