@@ -8,8 +8,8 @@
 GO ?= go
 
 .PHONY: build test race vet vet386 lint lint-json lint-ci fuzz-smoke \
-	serve-race determinism-race batch-race fleet-race bench-json \
-	bench-batch serve-smoke fleet-smoke check
+	serve-race determinism-race batch-race fleet-race chain-matrix \
+	bench-json bench-batch serve-smoke fleet-smoke check
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,20 @@ determinism-race:
 batch-race:
 	$(GO) test -race -count=2 -run 'Batch|Window|Malformed|GemmRows' \
 		./internal/tensor/ ./internal/lstm/ ./internal/gru/ ./internal/serve/
+
+# Kernel-chain matrix: the equivalence and determinism suites re-run
+# with each chain forced process-wide via MOBILSTM_KERNEL_CHAIN.
+# generic disables every assembly body (the pure-Go reference
+# configuration), sse2 is the default canonical chain, and avx2 forces
+# the wide chain — served by the pure-Go wide twin when the host lacks
+# AVX2+FMA, so the matrix passes on any amd64 or non-amd64 runner.
+chain-matrix:
+	for chain in generic sse2 avx2; do \
+		echo "=== MOBILSTM_KERNEL_CHAIN=$$chain ==="; \
+		MOBILSTM_KERNEL_CHAIN=$$chain $(GO) test -count=1 \
+			-run 'Bitwise|Repeatable|ColdCache|Invalidate|Equivalent|Matches|Wide|Chain' \
+			./internal/tensor/ ./internal/lstm/ ./internal/gru/ || exit 1; \
+	done
 
 # Hot-path benchmark trajectory: the united/packed kernel
 # micro-benchmarks plus the end-to-end Run benchmarks, folded into

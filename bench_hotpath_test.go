@@ -81,21 +81,37 @@ func hotModes(pred []intercell.Predictor) []struct {
 	}
 }
 
+// hotChains is the kernel-chain sweep dimension: the canonical SSE2
+// chain keeps the unsuffixed benchmark names (so the
+// BENCH_hotpath.json trajectory across PRs is uninterrupted) and the
+// wide AVX2/FMA chain lands as a /avx2 sub-benchmark next to it.
+var hotChains = []struct {
+	suffix string
+	chain  tensor.KernelChain
+}{
+	{"", tensor.ChainSSE2},
+	{"/avx2", tensor.ChainAVX2},
+}
+
 // BenchmarkRun times one end-to-end Network.Run per execution mode on
 // the quick-profile PTB shape — the per-request inference cost of the
-// serving loop.
+// serving loop — under both kernel chains.
 func BenchmarkRun(b *testing.B) {
 	inst, pred := hotSetup(b)
 	xs := inst.Seqs[0]
 	for _, m := range hotModes(pred) {
-		b.Run(m.name, func(b *testing.B) {
-			b.SetBytes(hotBytes(inst.Net, len(xs)))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				inst.Net.Run(xs, m.opt)
-			}
-		})
+		for _, c := range hotChains {
+			opt := m.opt
+			opt.Chain = c.chain
+			b.Run(m.name+c.suffix, func(b *testing.B) {
+				b.SetBytes(hotBytes(inst.Net, len(xs)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inst.Net.Run(xs, opt)
+				}
+			})
+		}
 	}
 }
 
@@ -120,22 +136,26 @@ func BenchmarkRunBatch(b *testing.B) {
 		{"intra", lstm.RunOptions{Intra: true, AlphaIntra: 0.1}},
 	}
 	for _, m := range modes {
-		for _, B := range []int{1, 2, 4, 8, 16} {
-			seqs := make([][]tensor.Vector, B)
-			var bytes int64
-			for i := range seqs {
-				seqs[i] = inst.Seqs[i%len(inst.Seqs)]
-				bytes += hotBytes(inst.Net, len(seqs[i]))
-			}
-			b.Run(fmt.Sprintf("%s/B=%d", m.name, B), func(b *testing.B) {
-				b.SetBytes(bytes)
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					inst.Net.RunBatch(seqs, m.opt)
+		for _, c := range hotChains {
+			for _, B := range []int{1, 2, 4, 8, 16} {
+				seqs := make([][]tensor.Vector, B)
+				var bytes int64
+				for i := range seqs {
+					seqs[i] = inst.Seqs[i%len(inst.Seqs)]
+					bytes += hotBytes(inst.Net, len(seqs[i]))
 				}
-				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/req")
-			})
+				opt := m.opt
+				opt.Chain = c.chain
+				b.Run(fmt.Sprintf("%s%s/B=%d", m.name, c.suffix, B), func(b *testing.B) {
+					b.SetBytes(bytes)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						inst.Net.RunBatch(seqs, opt)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/req")
+				})
+			}
 		}
 	}
 }
@@ -172,14 +192,18 @@ func BenchmarkRunGRU(b *testing.B) {
 		{"intra", gru.RunOptions{Intra: true, AlphaIntra: 0.1}},
 	}
 	for _, m := range modes {
-		b.Run(m.name, func(b *testing.B) {
-			b.SetBytes(bytes)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				n.Run(xs, m.opt)
-			}
-		})
+		for _, c := range hotChains {
+			opt := m.opt
+			opt.Chain = c.chain
+			b.Run(m.name+c.suffix, func(b *testing.B) {
+				b.SetBytes(bytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Run(xs, opt)
+				}
+			})
+		}
 	}
 	// The GRU batch sweep at the endpoints of the LSTM sweep, enough to
 	// track the GRU's GEMV→GEMM win in the trajectory.

@@ -24,6 +24,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"mobilstm/internal/tensor"
 )
 
 // result is one benchmark after sample folding.
@@ -41,10 +43,18 @@ type result struct {
 }
 
 type document struct {
-	Goos       string    `json:"goos,omitempty"`
-	Goarch     string    `json:"goarch,omitempty"`
-	CPU        string    `json:"cpu,omitempty"`
-	Benchmarks []*result `json:"benchmarks"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// KernelChain is the kernel chain this process would dispatch by
+	// default (the MOBILSTM_KERNEL_CHAIN-resolved process default) and
+	// CPUFeatures the probed SIMD feature set — so a trajectory of
+	// BENCH_hotpath.json files records which chain and hardware produced
+	// each point. Benchmarks that force a chain per sub-benchmark (the
+	// hotpath chain sweep) encode it in the benchmark name instead.
+	KernelChain string    `json:"kernel_chain,omitempty"`
+	CPUFeatures string    `json:"cpu_features,omitempty"`
+	Benchmarks  []*result `json:"benchmarks"`
 }
 
 func main() {
@@ -53,6 +63,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
 	}
+	stampEnv(doc)
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
 		os.Exit(1)
@@ -63,6 +74,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
 	}
+}
+
+// stampEnv records the kernel-dispatch environment the benchmarks ran
+// under: the process-default chain and the probed CPU feature set.
+func stampEnv(doc *document) {
+	doc.KernelChain = tensor.ActiveKernelChain().String()
+	doc.CPUFeatures = tensor.CPU().String()
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

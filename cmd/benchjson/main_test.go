@@ -42,3 +42,18 @@ BenchmarkRunBatch/baseline/B=4-8  100  3600000 ns/op  900000 ns/req
 		t.Fatalf("folded entry: samples=%d ns/op=%v ns/req=%v", b.Samples, b.NsPerOp, b.NsPerReq)
 	}
 }
+
+func TestStampEnvRecordsChainAndFeatures(t *testing.T) {
+	// The emitted document carries the kernel-dispatch environment: the
+	// process-default chain name and the probed CPU feature string.
+	doc := &document{}
+	stampEnv(doc)
+	switch doc.KernelChain {
+	case "generic", "sse2", "avx2":
+	default:
+		t.Fatalf("kernel_chain = %q, want a concrete chain name", doc.KernelChain)
+	}
+	if doc.CPUFeatures == "" {
+		t.Fatal("cpu_features is empty")
+	}
+}

@@ -56,6 +56,12 @@ func PackedGemm(dst *Matrix, m *Matrix, xs []Vector)                        {}
 func PackedGemmRows(dst *Matrix, m *Matrix, xs []Vector, sk [][]bool, f float32) {}
 func ParallelGemv(dst Vector, m *Matrix, x Vector)                          {}
 func ParallelGemm(dst, a, b *Matrix)                                        {}
+func WideGemv(dst Vector, m *Matrix, x Vector)                              {}
+func WideGemvRows(dst Vector, m *Matrix, x Vector, skip []bool, f float32)  {}
+func WidePackedGemv(dsts []Vector, m *Matrix, x Vector)                     {}
+func WidePackedGemvRows(dsts []Vector, m *Matrix, x Vector, s []bool, f float32) {}
+func WidePackedGemm(dst *Matrix, m *Matrix, xs []Vector)                    {}
+func WidePackedGemmRows(dst *Matrix, m *Matrix, xs []Vector, sk [][]bool, f float32) {}
 func Add(dst, a, b Vector)                                                  {}
 func Mul(dst, a, b Vector)                                                  {}
 func Axpy(dst Vector, alpha float32, x Vector)                              {}
@@ -241,6 +247,60 @@ func f(h int) {
 		if !strings.Contains(got[1].Message, want) {
 			t.Errorf("message should report the mask-set size (%q): %s", want, got[1].Message)
 		}
+	}
+}
+
+func TestShapeCheckFiresOnWideKernelMismatch(t *testing.T) {
+	// The Wide* family carries the same dimension contracts as the
+	// canonical kernels; the switch must check it under its own names.
+	src := `package bad
+
+import "mobilstm/internal/tensor"
+
+func f(h, e int, x tensor.Vector) {
+	U := tensor.NewMatrix(4*h, e)
+	dst := tensor.NewVector(h)
+	tensor.WideGemv(dst, U, x)
+	W := tensor.Pack(tensor.NewMatrix(h, e), tensor.NewMatrix(h, e), tensor.NewMatrix(h, e))
+	wx := tensor.NewMatrix(7, 4*h)
+	xs := make([]tensor.Vector, 7)
+	tensor.WidePackedGemm(wx, W, xs)
+}
+`
+	got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/bad", "internal/bad/bad.go", src)
+	wantLines(t, got, "shapecheck", 8, 12)
+	for _, want := range []string{"WideGemv", "dst length", "h", "4*h"} {
+		if !strings.Contains(got[0].Message, want) {
+			t.Errorf("message should report the inferred shapes (%q): %s", want, got[0].Message)
+		}
+	}
+	for _, want := range []string{"WidePackedGemm", "dst cols", "4*h", "united rows", "3*h"} {
+		if !strings.Contains(got[1].Message, want) {
+			t.Errorf("message should report the united shapes (%q): %s", want, got[1].Message)
+		}
+	}
+}
+
+func TestShapeCheckWideKernelClean(t *testing.T) {
+	// Shape-consistent wide calls stay silent, including the batched
+	// recurrent kernel with a per-member mask set.
+	src := `package ok
+
+import "mobilstm/internal/tensor"
+
+func f(h, b int, x tensor.Vector) {
+	uni := tensor.Pack(tensor.NewMatrix(h, h), tensor.NewMatrix(h, h),
+		tensor.NewMatrix(h, h), tensor.NewMatrix(h, h))
+	dst := tensor.NewVector(4 * h)
+	tensor.WideGemv(dst, uni, x)
+	gather := make([]tensor.Vector, b)
+	masks := make([][]bool, b)
+	out := tensor.NewMatrix(b, 4*h)
+	tensor.WidePackedGemmRows(out, uni, gather, masks, 0)
+}
+`
+	if got := runFixtureWith(t, Lookup("shapecheck"), "mobilstm/internal/ok", "internal/ok/ok.go", src); len(got) != 0 {
+		t.Fatalf("consistent wide kernel calls must pass: %v", got)
 	}
 }
 

@@ -22,7 +22,8 @@ import (
 //
 // A finding is any for/range loop body that accumulates into a float32
 // variable declared outside the loop (s += x, s -= x, s = s + x —
-// including FMA-shaped s += a*b), outside the canonical chain. Indexed
+// including FMA-shaped s += a*b, and call-shaped s = f(..., s) folds
+// like math.FMA wrappers), outside the sanctioned chains. Indexed
 // accumulators (dst[j] += ...) are element-wise updates, not
 // reductions, and stay legal. Intentional serial reductions that never
 // feed the deterministic pipeline (AbsRowSums' L1 norms) carry a
@@ -35,9 +36,15 @@ func init() {
 	})
 }
 
-// detfloatExempt names the canonical accumulation chain: the one place
-// a float32 reduction loop is the contract rather than a violation.
-var detfloatExempt = map[string]bool{"dotRowGeneric": true}
+// detfloatExempt names the sanctioned accumulation chains — the places
+// a float32 reduction loop IS the contract rather than a violation:
+// the canonical 16-lane chain (dotRowGeneric, mirrored by the SSE2
+// assembly) and the wide 32-lane FMA chain (dotRowWideGeneric,
+// mirrored by the AVX2 assembly and gated behind KernelChain).
+var detfloatExempt = map[string]bool{
+	"dotRowGeneric":     true,
+	"dotRowWideGeneric": true,
+}
 
 func runDetFloat(pass *Pass) []Finding {
 	if pass.Pkg.Info == nil {
@@ -112,28 +119,44 @@ func (df *detFloatWalker) accumulation(s *ast.AssignStmt, loop ast.Node) (Findin
 	if !isFloat32Basic(obj.Type()) {
 		return Finding{}, false
 	}
+	callShaped := false
 	switch s.Tok {
 	case token.ADD_ASSIGN, token.SUB_ASSIGN:
 	case token.ASSIGN:
-		// s = s + x (or s + ... anywhere in an additive chain).
-		bin, ok := ast.Unparen(s.Rhs[0]).(*ast.BinaryExpr)
-		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
-			return Finding{}, false
-		}
-		if !mentionsIdent(bin, obj, df.w) {
+		switch rhs := ast.Unparen(s.Rhs[0]).(type) {
+		case *ast.BinaryExpr:
+			// s = s + x (or s + ... anywhere in an additive chain).
+			if rhs.Op != token.ADD && rhs.Op != token.SUB {
+				return Finding{}, false
+			}
+			if !mentionsIdent(rhs, obj, df.w) {
+				return Finding{}, false
+			}
+		case *ast.CallExpr:
+			// s = f(..., s): a fold through a call — the shape of
+			// math.FMA/fma32 wrappers, and every bit as much a serial
+			// reduction with its own association order.
+			if !mentionsIdent(rhs, obj, df.w) {
+				return Finding{}, false
+			}
+			callShaped = true
+		default:
 			return Finding{}, false
 		}
 	default:
 		return Finding{}, false
 	}
 	shape := "float32 reduction"
-	if hasMul(s.Rhs[0]) {
+	switch {
+	case callShaped:
+		shape = "call-shaped float32 fold"
+	case hasMul(s.Rhs[0]):
 		shape = "FMA-shaped float32 accumulation"
 	}
 	return Finding{
 		Analyzer: "detfloat",
 		Pos:      df.pass.Position(s.Pos()),
-		Message: shape + " outside the canonical dotRow chain breaks the bitwise " +
+		Message: shape + " outside the sanctioned dotRow chains breaks the bitwise " +
 			"serial-equivalence contract; reduce through internal/tensor's kernels " +
 			"(Dot/Gemv) or gate it behind an explicit fast mode",
 	}, true

@@ -44,6 +44,9 @@ var tensorKernelCoverage = map[string]bool{
 	"Gemm": true, "ParallelGemm": true,
 	"PackedGemv": true, "PackedGemvRows": true,
 	"PackedGemm": true, "PackedGemmRows": true,
+	"WideGemv": true, "WideGemvRows": true,
+	"WidePackedGemv": true, "WidePackedGemvRows": true,
+	"WidePackedGemm": true, "WidePackedGemmRows": true,
 	"Pack": true,
 	"Add":  true, "Mul": true, "Axpy": true, "Dot": true,
 	"SigmoidVec": true, "HardSigmoidVec": true, "TanhVec": true,

@@ -371,11 +371,11 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 			return nil
 		}
 		switch name {
-		case "Gemv", "GemvRows", "ParallelGemv":
+		case "Gemv", "GemvRows", "ParallelGemv", "WideGemv", "WideGemvRows":
 			rows, cols := c.mdims(ev, arg(1))
 			c.require(call, name, "dst length", c.vdim(ev, arg(0)), "m rows", rows)
 			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
-			if name == "GemvRows" {
+			if name == "GemvRows" || name == "WideGemvRows" {
 				c.require(call, name, "skip length", c.vdim(ev, arg(3)), "m rows", rows)
 			}
 		case "Gemm", "ParallelGemm":
@@ -385,19 +385,19 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 			c.require(call, name, "a cols", ac, "b rows", br)
 			c.require(call, name, "dst rows", dr, "a rows", ar)
 			c.require(call, name, "dst cols", dc, "b cols", bc)
-		case "PackedGemv", "PackedGemvRows":
+		case "PackedGemv", "PackedGemvRows", "WidePackedGemv", "WidePackedGemvRows":
 			rows, cols := c.mdims(ev, arg(1))
 			c.require(call, name, "x length", c.vdim(ev, arg(2)), "m cols", cols)
 			// The per-gate destinations tile the united matrix: each dst
 			// segment length must divide the united row count.
 			c.requireDivides(call, name, "dst segment length", c.vovOf(ev, arg(0)).elem, "united rows", rows)
-			if name == "PackedGemvRows" {
+			if name == "PackedGemvRows" || name == "WidePackedGemvRows" {
 				// The skip mask covers one segment of the united matrix:
 				// its length must divide the united row count (rows =
 				// len(dsts) × segment).
 				c.requireDivides(call, name, "skip length", c.vdim(ev, arg(3)), "united rows", rows)
 			}
-		case "PackedGemmRows":
+		case "PackedGemmRows", "WidePackedGemmRows":
 			// The batch-B recurrent kernel: dst is len(xs) × m.Rows, and
 			// each per-input skip mask tiles the united row count the way
 			// PackedGemvRows' segment mask does.
@@ -410,7 +410,7 @@ func (c *shapeClient) check(ev *env, n ast.Node) {
 			skips := c.vovOf(ev, arg(3))
 			c.require(call, name, "skips count", skips.count, "xs count", xs.count)
 			c.requireDivides(call, name, "skip mask length", skips.elem, "united rows", mr)
-		case "PackedGemm":
+		case "PackedGemm", "WidePackedGemm":
 			// dst is len(xs) × m.Rows: its column count is the united row
 			// count (4h for the LSTM's W_{f,i,c,o}, 3h for the GRU's).
 			dr, dc := c.mdims(ev, arg(0))

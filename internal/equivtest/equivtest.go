@@ -60,6 +60,57 @@ func Classes(tb testing.TB, label string, got, want []int) {
 	}
 }
 
+// ULPDistance returns the distance between a and b in float32 ULPs —
+// the number of representable values between them (0 when bitwise
+// equal, 1 for adjacent floats). Opposite signs measure through zero;
+// any NaN or a sign-crossing overflow saturates to MaxUint32. The
+// wide-chain drift report uses it to quantify how far the fast mode
+// strays from the canonical chain.
+func ULPDistance(a, b float32) uint32 {
+	//lint:ignore float64leak NaN classification only — float32-to-float64 widening preserves NaN-ness exactly and no magnitude is compared
+	if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+		return math.MaxUint32
+	}
+	ai, bi := ulpIndex(a), ulpIndex(b)
+	d := ai - bi
+	if d < 0 {
+		d = -d
+	}
+	if d > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(d)
+}
+
+// ulpIndex maps a float32 onto the integer line where consecutive
+// representable values differ by one: non-negative floats map to their
+// bit pattern, negative floats to its negation, so distances across
+// zero count both sides' ULPs (+0 and -0 coincide).
+func ulpIndex(f float32) int64 {
+	b := math.Float32bits(f)
+	if b&(1<<31) != 0 {
+		return -int64(b &^ (1 << 31))
+	}
+	return int64(b)
+}
+
+// MaxULP returns the largest ULPDistance over the element pairs of a
+// and b — the drift between two same-shape results computed under
+// different chains.
+func MaxULP(tb testing.TB, label string, a, b tensor.Vector) uint32 {
+	tb.Helper()
+	if len(a) != len(b) {
+		tb.Fatalf("%s: MaxULP over lengths %d and %d", label, len(a), len(b))
+	}
+	var max uint32
+	for j := range a {
+		if d := ULPDistance(a[j], b[j]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 func labelMember(label string, i int) string {
 	return label + " member " + itoa(i)
 }

@@ -146,6 +146,11 @@ type RunOptions struct {
 	Intra      bool
 	AlphaIntra float64
 
+	// Chain selects the accumulation chain (see lstm.RunOptions.Chain):
+	// ChainAuto follows the process default, ChainAVX2 opts into the
+	// wide FMA fast mode with its own wide-vs-wide bitwise contract.
+	Chain tensor.KernelChain
+
 	Trace *Trace
 }
 
@@ -183,6 +188,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			tensor.Panicf("gru: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
+	kf := kernelsFor(opt.Chain)
 	sc := newLayerScratch(n.Layers[0].Hidden, len(xs))
 	seq := xs
 	for li, l := range n.Layers {
@@ -191,11 +197,11 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
 			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
 		}
-		seq = n.runLayer(li, l, seq, opt, lt, sc)
+		seq = n.runLayer(li, l, seq, opt, lt, sc, kf)
 	}
 	last := seq[len(seq)-1]
 	logits := tensor.NewVector(n.Head.Rows)
-	tensor.Gemv(logits, n.Head, last)
+	kf.gemv(logits, n.Head, last)
 	tensor.Add(logits, logits, n.HeadBias)
 	return logits
 }
@@ -299,7 +305,7 @@ func (sc *layerScratch) nextHS() []tensor.Vector {
 	return sc.hsB[:sc.cells]
 }
 
-func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch) []tensor.Vector {
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch, kf *kernelFns) []tensor.Vector {
 	nCells := len(xs)
 	h := l.Hidden
 	pw := l.packedWeights()
@@ -308,7 +314,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 	// United input projections for the whole layer: one weight stream
 	// over W_{z,r,h} (the §II-B counterpart of the LSTM's united
 	// Sgemm(W_{f,i,c,o}, x)). Row t of wx is cell t's [xz|xr|xh].
-	tensor.PackedGemm(sc.wx, pw.w, xs)
+	kf.packedGemm(sc.wx, pw.w, xs)
 	wrow := func(t int) (xz, xr, xh tensor.Vector) {
 		row := sc.wx.Row(t)
 		return row[:h], row[h : 2*h], row[2*h:]
@@ -331,7 +337,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		hs := sc.nextHS()
 		z, rv := sc.zs[0], sc.rs[0]
 		for t := 0; t < nCells; t++ {
-			tensor.PackedGemv(sc.zr, pw.uzr, st)
+			kf.packedGemv(sc.zr, pw.uzr, st)
 			xz, xr, xh := wrow(t)
 			for j := 0; j < h; j++ {
 				z[j] = tensor.Sigmoid(xz[j] + sc.uz[j] + l.Bz[j])
@@ -346,7 +352,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 				lt.SkipCounts = append(lt.SkipCounts, skipCount)
 			}
 			tensor.Mul(sc.rh, rv, st)
-			tensor.GemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
+			kf.gemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
 			hNew := hs[t]
 			for j := 0; j < h; j++ {
 				if skip != nil && skip[j] {
@@ -408,7 +414,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		zs, rs := sc.zs[:len(tissue)], sc.rs[:len(tissue)]
 		for ci, cell := range tissue {
 			hPrev := states[subOf[cell]]
-			tensor.PackedGemv(sc.zr, pw.uzr, hPrev)
+			kf.packedGemv(sc.zr, pw.uzr, hPrev)
 			xz, xr, _ := wrow(cell)
 			z, rv := zs[ci], rs[ci]
 			for j := 0; j < h; j++ {
@@ -429,7 +435,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		for ci, cell := range tissue {
 			hPrev := states[subOf[cell]]
 			tensor.Mul(sc.rh, rs[ci], hPrev)
-			tensor.GemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
+			kf.gemvRows(sc.uh, l.Uh, sc.rh, skip, 0)
 			z := zs[ci]
 			_, _, xh := wrow(cell)
 			hNew := hs[cell]
@@ -507,7 +513,9 @@ func CollectPredictors(n *Network, samples [][]tensor.Vector) []intercell.Predic
 		}
 		seq := xs
 		for li, l := range n.Layers {
-			hs := n.runLayer(li, l, seq, Baseline(), nil, sc)
+			// Predictors are offline artifacts shared across chains:
+			// always collect them on the canonical chain.
+			hs := n.runLayer(li, l, seq, Baseline(), nil, sc, &canonicalKernels)
 			for _, h := range hs {
 				stats[li].Observe(h, zero[li])
 			}

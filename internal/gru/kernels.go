@@ -1,0 +1,44 @@
+package gru
+
+import "mobilstm/internal/tensor"
+
+// kernelFns binds the GRU layer loop to one accumulation chain,
+// mirroring the lstm binding: a forward pass resolves
+// RunOptions.Chain once and routes every chain-sensitive kernel
+// through the same family, so a run never mixes the canonical and wide
+// chains. Element-wise gate math is chain-independent and stays
+// direct; CollectPredictors stays canonical — predictors are offline
+// artifacts shared across chains.
+type kernelFns struct {
+	gemv           func(tensor.Vector, *tensor.Matrix, tensor.Vector)
+	gemvRows       func(tensor.Vector, *tensor.Matrix, tensor.Vector, []bool, float32)
+	packedGemv     func([]tensor.Vector, *tensor.Matrix, tensor.Vector)
+	packedGemm     func(*tensor.Matrix, *tensor.Matrix, []tensor.Vector)
+	packedGemmRows func(*tensor.Matrix, *tensor.Matrix, []tensor.Vector, [][]bool, float32)
+}
+
+var (
+	canonicalKernels = kernelFns{
+		gemv:           tensor.Gemv,
+		gemvRows:       tensor.GemvRows,
+		packedGemv:     tensor.PackedGemv,
+		packedGemm:     tensor.PackedGemm,
+		packedGemmRows: tensor.PackedGemmRows,
+	}
+	wideKernels = kernelFns{
+		gemv:           tensor.WideGemv,
+		gemvRows:       tensor.WideGemvRows,
+		packedGemv:     tensor.WidePackedGemv,
+		packedGemm:     tensor.WidePackedGemm,
+		packedGemmRows: tensor.WidePackedGemmRows,
+	}
+)
+
+// kernelsFor resolves a RunOptions chain selection to its kernel
+// binding (see lstm.kernelsFor).
+func kernelsFor(c tensor.KernelChain) *kernelFns {
+	if tensor.ResolveChain(c) == tensor.ChainAVX2 {
+		return &wideKernels
+	}
+	return &canonicalKernels
+}

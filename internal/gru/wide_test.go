@@ -1,0 +1,81 @@
+package gru
+
+import (
+	"runtime"
+	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/tensor"
+)
+
+func gruWideModes(n *Network) map[string]RunOptions {
+	modes := gruBatchModes(n)
+	for name, opt := range modes {
+		opt.Chain = tensor.ChainAVX2
+		modes[name] = opt
+	}
+	return modes
+}
+
+// TestGRUWideRunBatchMatchesSerial is the wide-chain twin of the GRU
+// batch contract: under Chain: ChainAVX2, RunBatch member i is bitwise
+// identical to wide serial Run(seqs[i]) in every mode.
+func TestGRUWideRunBatchMatchesSerial(t *testing.T) {
+	n := testNet(421, 2, 5)
+	for name, opt := range gruWideModes(n) {
+		for _, b := range []int{1, 2, 3, 5} {
+			seqs := raggedSeqsFor(uint64(422+b), 17, b)
+			want := make([]tensor.Vector, b)
+			for i, xs := range seqs {
+				want[i] = n.Run(xs, opt)
+			}
+			got := n.RunBatch(seqs, opt)
+			equivtest.Batch(t, "wide "+name, got, want)
+		}
+	}
+}
+
+// TestGRUWideRunBatchBitwiseIdenticalAcrossGOMAXPROCS sweeps the
+// scheduler under the wide chain: row sharding never moves a bit, so
+// wide logits are GOMAXPROCS-independent exactly like canonical ones.
+func TestGRUWideRunBatchBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(421, 2, 5)
+	seqs := [][]tensor.Vector{
+		seqsFor(423, 40, 1)[0],
+		seqsFor(424, 17, 1)[0],
+		seqsFor(425, 29, 1)[0],
+		seqsFor(426, 40, 1)[0],
+	}
+	for name, opt := range gruWideModes(n) {
+		want := make([]tensor.Vector, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Run(xs, opt)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.RunBatch(seqs, opt)
+			runtime.GOMAXPROCS(prev)
+			equivtest.Batch(t, "wide "+name, got, want)
+		}
+	}
+}
+
+// TestGRUWideChainULPDrift measures the wide chain's drift from the
+// canonical chain on GRU logits and reports it; the bound is a loose
+// sanity rail, not a contract (the chains diverge by design).
+func TestGRUWideChainULPDrift(t *testing.T) {
+	n := testNet(427, 3, 5)
+	var worst uint32
+	for trial := 0; trial < 8; trial++ {
+		xs := seqsFor(uint64(428+trial), 20, 1)[0]
+		canon := n.Run(xs, Baseline())
+		wide := n.Run(xs, RunOptions{Chain: tensor.ChainAVX2})
+		if d := equivtest.MaxULP(t, "drift", wide, canon); d > worst {
+			worst = d
+		}
+	}
+	t.Logf("max ULP drift wide vs canonical over 8 sequences: %d", worst)
+	if worst > 1<<16 {
+		t.Fatalf("wide chain drifted %d ULP from canonical — beyond any plausible rounding divergence", worst)
+	}
+}

@@ -46,6 +46,7 @@ func (n *Network) RunBatch(seqs [][]tensor.Vector, opt RunOptions) []tensor.Vect
 		lens[i] = len(xs)
 		total += len(xs)
 	}
+	kf := kernelsFor(opt.Chain)
 	sc := newBatchScratch(n.Hidden(), lens)
 
 	// The flat cell list concatenates member sequences in member order;
@@ -56,11 +57,11 @@ func (n *Network) RunBatch(seqs [][]tensor.Vector, opt RunOptions) []tensor.Vect
 	}
 	seq := flat
 	for _, l := range n.Layers {
-		seq = n.runLayerBatch(l, seq, opt, sc)
+		seq = n.runLayerBatch(l, seq, opt, sc, kf)
 	}
 	out := make([]tensor.Vector, len(seqs))
 	for i := range seqs {
-		out[i] = n.headLogits(seq[sc.offs[i]+sc.lens[i]-1])
+		out[i] = n.headLogits(seq[sc.offs[i]+sc.lens[i]-1], kf)
 	}
 	return out
 }
@@ -123,13 +124,14 @@ func (n *Network) runBatchSerial(seqs [][]tensor.Vector, opt RunOptions) []tenso
 		}
 	}
 	sc := newLayerScratch(n.Hidden(), maxLen)
+	kf := kernelsFor(opt.Chain)
 	out := make([]tensor.Vector, len(seqs))
 	for i, xs := range seqs {
 		seq := xs
 		for li, l := range n.Layers {
-			seq = n.runLayer(li, l, seq, opt, nil, sc)
+			seq = n.runLayer(li, l, seq, opt, nil, sc, kf)
 		}
-		out[i] = n.headLogits(seq[len(seq)-1])
+		out[i] = n.headLogits(seq[len(seq)-1], kf)
 	}
 	return out
 }
@@ -284,7 +286,7 @@ func (sc *batchScratch) ficView(rows int) *tensor.Matrix {
 // two batched united GEMMs (U_o, then U_{f,i,c} under the per-member
 // DRS masks), and the element-wise state update walks each member with
 // exactly the serial flow's expressions.
-func (n *Network) runLayerBatch(l *Layer, xs []tensor.Vector, opt RunOptions, sc *batchScratch) []tensor.Vector {
+func (n *Network) runLayerBatch(l *Layer, xs []tensor.Vector, opt RunOptions, sc *batchScratch, kf *kernelFns) []tensor.Vector {
 	h := l.Hidden
 	pw := l.packedWeights()
 	sc.reset(h, sc.lens)
@@ -292,7 +294,7 @@ func (n *Network) runLayerBatch(l *Layer, xs []tensor.Vector, opt RunOptions, sc
 	// Step 2 of Algorithm 1 across the whole batch: every cell of every
 	// member is ready up-front, so one united packed GEMM streams
 	// W_{f,i,c,o} once for all of them.
-	tensor.PackedGemm(sc.wx, pw.w, xs)
+	kf.packedGemm(sc.wx, pw.w, xs)
 
 	for i := range sc.lens {
 		st := sc.state(i)
@@ -323,7 +325,7 @@ func (n *Network) runLayerBatch(l *Layer, xs []tensor.Vector, opt RunOptions, sc
 		// o_t first (Algorithm 3 lines 4-6), batched: U_o streams once
 		// for the whole active set.
 		uoB := sc.uoView(len(act))
-		tensor.PackedGemmRows(uoB, pw.uo, g, nil, 0)
+		kf.packedGemmRows(uoB, pw.uo, g, nil, 0)
 		for k, i := range act {
 			row := sc.wx.Row(sc.offs[i] + t)
 			xo := row[3*h:]
@@ -348,7 +350,7 @@ func (n *Network) runLayerBatch(l *Layer, xs []tensor.Vector, opt RunOptions, sc
 		// The united U_{f,i,c} block for the active set under the masks:
 		// each weight row streams once and is skipped per member.
 		ficB := sc.ficView(len(act))
-		tensor.PackedGemmRows(ficB, pw.ufic, g, skips, 0)
+		kf.packedGemmRows(ficB, pw.ufic, g, skips, 0)
 
 		// Element-wise state update per member — stepFIC's expressions.
 		for k, i := range act {

@@ -28,6 +28,16 @@ type RunOptions struct {
 	Intra      bool
 	AlphaIntra float64
 
+	// Chain selects the accumulation chain the GEMV/GEMM kernels run
+	// (tensor.KernelChain). The zero value (ChainAuto) follows the
+	// process default — the canonical bitwise-deterministic chain
+	// unless tensor.SetKernelChain or MOBILSTM_KERNEL_CHAIN moved it.
+	// ChainAVX2 opts this run into the wide FMA fast mode: logits keep
+	// the same determinism guarantees within the wide chain
+	// (Run≡RunBatch, any GOMAXPROCS) but drift a few ULP from the
+	// canonical chain's bits (see EXPERIMENTS.md).
+	Chain tensor.KernelChain
+
 	// Trace, when non-nil, collects the structural decisions of the run
 	// (relevance values, breakpoints, tissue layout, skip counts) — the
 	// information the paper's PyTorch stage exports to DeepBench, and
@@ -96,6 +106,7 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			tensor.Panicf("lstm: %d predictors for %d layers", len(opt.Predictors), len(n.Layers))
 		}
 	}
+	kf := kernelsFor(opt.Chain)
 	sc := newLayerScratch(n.Hidden(), len(xs))
 	seq := xs
 	for li, l := range n.Layers {
@@ -104,16 +115,16 @@ func (n *Network) Run(xs []tensor.Vector, opt RunOptions) tensor.Vector {
 			opt.Trace.Layers = append(opt.Trace.Layers, LayerTrace{Layer: li, Cells: len(seq)})
 			lt = &opt.Trace.Layers[len(opt.Trace.Layers)-1]
 		}
-		seq = n.runLayer(li, l, seq, opt, lt, sc)
+		seq = n.runLayer(li, l, seq, opt, lt, sc, kf)
 	}
-	return n.headLogits(seq[len(seq)-1])
+	return n.headLogits(seq[len(seq)-1], kf)
 }
 
 // headLogits applies the linear head to a final hidden state, returning
 // freshly allocated logits (never an arena view).
-func (n *Network) headLogits(last tensor.Vector) tensor.Vector {
+func (n *Network) headLogits(last tensor.Vector, kf *kernelFns) tensor.Vector {
 	logits := tensor.NewVector(n.Head.Rows)
-	tensor.Gemv(logits, n.Head, last)
+	kf.gemv(logits, n.Head, last)
 	tensor.Add(logits, logits, n.HeadBias)
 	return logits
 }
@@ -265,7 +276,7 @@ type cellState struct {
 	h, c tensor.Vector
 }
 
-func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch) []tensor.Vector {
+func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions, lt *LayerTrace, sc *layerScratch, kf *kernelFns) []tensor.Vector {
 	nCells := len(xs)
 	h := l.Hidden
 	pw := l.packedWeights()
@@ -275,7 +286,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 	// united packed GEMM — all layer inputs are ready up-front on mobile
 	// GPUs (§II-C), so the whole layer's input projections are a single
 	// weight stream. Row t of wx holds cell t's united pre-activation.
-	tensor.PackedGemm(sc.wx, pw.w, xs)
+	kf.packedGemm(sc.wx, pw.w, xs)
 	wrow := func(t int) (xf, xi, xc, xo tensor.Vector) {
 		row := sc.wx.Row(t)
 		return row[:h], row[h : 2*h], row[2*h : 3*h], row[3*h:]
@@ -298,7 +309,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		o := sc.os[0]
 		for t := 0; t < nCells; t++ {
 			xf, xi, xc, xo := wrow(t)
-			tensor.Gemv(sc.uo, pw.uo, st.h)
+			kf.gemv(sc.uo, pw.uo, st.h)
 			for j := 0; j < h; j++ {
 				o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
 			}
@@ -310,7 +321,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 			if lt != nil && opt.Intra {
 				lt.SkipCounts = append(lt.SkipCounts, skipCount)
 			}
-			n.stepFIC(l, pw, st, xf, xi, xc, o, skip, sc)
+			n.stepFIC(l, pw, st, xf, xi, xc, o, skip, sc, kf)
 			copy(hs[t], st.h)
 		}
 		return hs
@@ -374,7 +385,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		for oi, cell := range tissue {
 			st := &states[subOf[cell]]
 			_, _, _, xo := wrow(cell)
-			tensor.Gemv(sc.uo, pw.uo, st.h)
+			kf.gemv(sc.uo, pw.uo, st.h)
 			o := os[oi]
 			for j := 0; j < h; j++ {
 				o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
@@ -393,7 +404,7 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 		for ci, cell := range tissue {
 			st := &states[subOf[cell]]
 			xf, xi, xc, _ := wrow(cell)
-			n.stepFIC(l, pw, st, xf, xi, xc, os[ci], skip, sc)
+			n.stepFIC(l, pw, st, xf, xi, xc, os[ci], skip, sc, kf)
 			copy(hs[cell], st.h)
 		}
 	}
@@ -406,9 +417,9 @@ func (n *Network) runLayer(li int, l *Layer, xs []tensor.Vector, opt RunOptions,
 // three recurrent products are one united pass over the U_{f,i,c} block
 // of the packed matrix — the recurrent input streams once across all
 // three gates, and the skip mask disables a row in all of them at once.
-func (n *Network) stepFIC(l *Layer, pw *packedWeights, st *cellState, xf, xi, xc, o tensor.Vector, skip []bool, s *layerScratch) {
+func (n *Network) stepFIC(l *Layer, pw *packedWeights, st *cellState, xf, xi, xc, o tensor.Vector, skip []bool, s *layerScratch, kf *kernelFns) {
 	h := l.Hidden
-	tensor.PackedGemvRows(s.fic, pw.ufic, st.h, skip, 0)
+	kf.packedGemvRows(s.fic, pw.ufic, st.h, skip, 0)
 	for j := 0; j < h; j++ {
 		if skip != nil && skip[j] {
 			st.c[j] = 0
@@ -469,7 +480,7 @@ func observeLayer(n *Network, l *Layer, xs []tensor.Vector, ls *intercell.LinkSt
 		for j := 0; j < h; j++ {
 			o[j] = n.Gate.Apply(xo[j] + sc.uo[j] + l.Bo[j])
 		}
-		n.stepFIC(l, pw, st, xf, xi, xc, o, nil, sc)
+		n.stepFIC(l, pw, st, xf, xi, xc, o, nil, sc, &canonicalKernels)
 		copy(hs[t], st.h)
 		ls.Observe(st.h, st.c)
 	}

@@ -1,0 +1,164 @@
+package lstm
+
+import (
+	"runtime"
+	"testing"
+
+	"mobilstm/internal/equivtest"
+	"mobilstm/internal/rng"
+	"mobilstm/internal/tensor"
+)
+
+// The wide-chain determinism matrix: the fast mode (Chain: ChainAVX2)
+// carries the same guarantees as the canonical chain, *within* the wide
+// chain — wide Run is repeatable, wide RunBatch member i is bitwise
+// identical to wide serial Run(seqs[i]) in every mode, at every batch B
+// and GOMAXPROCS, cold or warm cache. Wide-vs-canonical equality is
+// deliberately absent: the chains drift by design, and the drift is
+// measured (TestWideChainULPDrift) rather than forbidden.
+
+func wideModes(n *Network) map[string]RunOptions {
+	modes := batchModes(n)
+	for name, opt := range modes {
+		opt.Chain = tensor.ChainAVX2
+		modes[name] = opt
+	}
+	return modes
+}
+
+// TestWideRunBatchMatchesSerial is the wide twin of
+// TestRunBatchMatchesSerial: mode × batch size × ragged lengths, all
+// under the wide chain.
+func TestWideRunBatchMatchesSerial(t *testing.T) {
+	n := testNet(t, 24, 32, 2, 5, 401)
+	r := rng.New(402)
+	for name, opt := range wideModes(n) {
+		for _, b := range []int{1, 2, 3, 5} {
+			seqs := raggedSeqs(r, 24, 17, b)
+			want := make([]tensor.Vector, b)
+			for i, xs := range seqs {
+				want[i] = n.Run(xs, opt)
+			}
+			got := n.RunBatch(seqs, opt)
+			equivtest.Batch(t, "wide "+name+" B="+itoa(b), got, want)
+		}
+	}
+}
+
+// TestWideRunBitwiseIdenticalAcrossGOMAXPROCS pins wide-serial
+// determinism: the wide kernels shard rows, never accumulation chains,
+// so wide logits are scheduler-independent exactly like canonical ones.
+func TestWideRunBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(t, 48, 64, 2, 5, 403)
+	xs := testSeqs(rng.New(404), 48, 40, 1)[0]
+	for name, opt := range wideModes(n) {
+		ref := n.Run(xs, opt)
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.Run(xs, opt)
+			runtime.GOMAXPROCS(prev)
+			equivtest.Vectors(t, "wide "+name+" GOMAXPROCS="+itoa(procs), got, ref)
+		}
+	}
+}
+
+// TestWideRunBatchBitwiseIdenticalAcrossGOMAXPROCS extends the wide
+// contract to the batched path across the scheduler sweep.
+func TestWideRunBatchBitwiseIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	n := testNet(t, 48, 64, 2, 5, 403)
+	seqs := [][]tensor.Vector{
+		testSeqs(rng.New(404), 48, 40, 1)[0],
+		testSeqs(rng.New(405), 48, 23, 1)[0],
+		testSeqs(rng.New(406), 48, 31, 1)[0],
+		testSeqs(rng.New(407), 48, 40, 1)[0],
+	}
+	for name, opt := range wideModes(n) {
+		want := make([]tensor.Vector, len(seqs))
+		for i, xs := range seqs {
+			want[i] = n.Run(xs, opt)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := n.RunBatch(seqs, opt)
+			runtime.GOMAXPROCS(prev)
+			equivtest.Batch(t, "wide "+name+" GOMAXPROCS="+itoa(procs), got, want)
+		}
+	}
+}
+
+// TestConcurrentWideRunsShareColdCache races first-use builds of the
+// packed weight cache under the wide chain: the united cache is
+// chain-neutral (it holds weights, not results), so concurrent wide
+// and canonical first touches must both be safe. Run under -race.
+func TestConcurrentWideRunsShareColdCache(t *testing.T) {
+	n := testNet(t, 24, 32, 2, 4, 408)
+	xs := testSeqs(rng.New(409), 24, 18, 1)[0]
+	wide := RunOptions{Chain: tensor.ChainAVX2}
+	ref := testNet(t, 24, 32, 2, 4, 408).Run(xs, wide)
+
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	results := make([]tensor.Vector, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			opt := Baseline()
+			if w%2 == 0 {
+				opt.Chain = tensor.ChainAVX2
+			}
+			results[w] = n.Run(xs, opt)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w, got := range results {
+		if w%2 != 0 {
+			continue // canonical workers only exercise the shared cold build
+		}
+		equivtest.Vectors(t, "wide worker "+itoa(w), got, ref)
+	}
+}
+
+// TestChainAutoFollowsProcessDefault pins the env/SetKernelChain path
+// end to end: a ChainAuto run under a forced process default produces
+// exactly the bits of the matching explicit selection.
+func TestChainAutoFollowsProcessDefault(t *testing.T) {
+	n := testNet(t, 16, 24, 2, 4, 410)
+	xs := testSeqs(rng.New(411), 16, 12, 1)[0]
+	explicit := n.Run(xs, RunOptions{Chain: tensor.ChainAVX2})
+	canonical := n.Run(xs, Baseline())
+
+	prev := tensor.ActiveKernelChain()
+	tensor.SetKernelChain(tensor.ChainAVX2)
+	auto := n.Run(xs, Baseline())
+	tensor.SetKernelChain(prev)
+	equivtest.Vectors(t, "auto-under-avx2-default", auto, explicit)
+
+	after := n.Run(xs, Baseline())
+	equivtest.Vectors(t, "auto-after-restore", after, canonical)
+}
+
+// TestWideChainULPDrift measures — not forbids — the wide chain's drift
+// from the canonical chain on baseline logits. The bound is a loose
+// sanity rail (three recurrent layers amplify the per-dot difference);
+// the measured value is reported in EXPERIMENTS.md.
+func TestWideChainULPDrift(t *testing.T) {
+	n := testNet(t, 24, 32, 3, 5, 412)
+	r := rng.New(413)
+	var worst uint32
+	for trial := 0; trial < 8; trial++ {
+		xs := testSeqs(r, 24, 20, 1)[0]
+		canon := n.Run(xs, Baseline())
+		wide := n.Run(xs, RunOptions{Chain: tensor.ChainAVX2})
+		if d := equivtest.MaxULP(t, "drift", wide, canon); d > worst {
+			worst = d
+		}
+	}
+	t.Logf("max ULP drift wide vs canonical over 8 sequences: %d", worst)
+	if worst > 1<<16 {
+		t.Fatalf("wide chain drifted %d ULP from canonical — beyond any plausible rounding divergence", worst)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"mobilstm/internal/report"
 	"mobilstm/internal/stats"
+	"mobilstm/internal/tensor"
 )
 
 // benchStats is one benchmark's serving counters, guarded by the
@@ -118,7 +119,11 @@ type Snapshot struct {
 	Uptime time.Duration
 	// Device names the simulated device class the server's cost model
 	// runs on (the shard's hardware in a fleet).
-	Device  string
+	Device string
+	// Chain names the resolved kernel chain requests execute under
+	// (the server's Config.Chain after ChainAuto resolves to the
+	// process default).
+	Chain   string
 	Benches []BenchSnapshot
 
 	// GPUBusyMs sums simulated engine time (batch GPU launches plus
@@ -150,7 +155,11 @@ func (s *Server) Stats() Snapshot {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	now := time.Now()
-	snap := Snapshot{Uptime: now.Sub(s.start), Device: s.device()}
+	snap := Snapshot{
+		Uptime: now.Sub(s.start),
+		Device: s.device(),
+		Chain:  tensor.ResolveChain(s.cfg.Chain).String(),
+	}
 	names := make([]string, 0, len(s.stats))
 	for name := range s.stats {
 		names = append(names, name)
@@ -225,8 +234,8 @@ func (s *Server) Stats() Snapshot {
 // Report renders the snapshot as a per-benchmark serving table.
 func (snap Snapshot) Report() *report.Table {
 	t := report.NewTable(
-		fmt.Sprintf("Serving stats (%s, %.1fs uptime, %.1f%% busy)",
-			snap.Device, snap.Uptime.Seconds(), snap.Utilization*100),
+		fmt.Sprintf("Serving stats (%s, %s chain, %.1fs uptime, %.1f%% busy)",
+			snap.Device, snap.Chain, snap.Uptime.Seconds(), snap.Utilization*100),
 		"Benchmark", "set", "served", "rej", "req/s", "batch", "drop",
 		"cold", "wait ms", "gpu ms", "p50 ms", "p95 ms",
 		"p99 cold", "p99 warm", "accuracy")

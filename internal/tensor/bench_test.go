@@ -93,6 +93,40 @@ func BenchmarkPackedGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkWidePackedGemv / BenchmarkWidePackedGemm are the wide-chain
+// twins of the canonical packed benchmarks: same shapes, AVX2/FMA
+// 32-lane chain. The canonical names stay unsuffixed so the
+// BENCH_hotpath.json trajectory is uninterrupted; the Wide entries add
+// the fast-mode points alongside.
+func BenchmarkWidePackedGemv(b *testing.B) {
+	const h = 650
+	united, _, x := benchDims(h)
+	dsts := []Vector{NewVector(h), NewVector(h), NewVector(h), NewVector(h)}
+	b.SetBytes(united.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WidePackedGemv(dsts, united, x)
+	}
+}
+
+func BenchmarkWidePackedGemm(b *testing.B) {
+	const h, steps = 650, 16
+	united, _, _ := benchDims(h)
+	r := rng.New(0x9c27)
+	xs := make([]Vector, steps)
+	for t := range xs {
+		xs[t] = randVector(r, h)
+	}
+	dst := NewMatrix(steps, 4*h)
+	b.SetBytes(united.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WidePackedGemm(dst, united, xs)
+	}
+}
+
 func BenchmarkGemmSizes(b *testing.B) {
 	r := rng.New(0x77aa)
 	for _, n := range []int{64, 256} {

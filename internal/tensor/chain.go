@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Kernel-chain selection. The package carries two sanctioned
+// accumulation chains:
+//
+//   - the canonical 16-lane chain (kernel.go's dotRowGeneric, carried
+//     bitwise by the SSE2 body in dot_amd64.s) — the default, and the
+//     chain every historical artifact and cross-box trajectory was
+//     recorded under;
+//   - the wide 32-lane FMA chain (kernel_wide.go's dotRowWideGeneric,
+//     carried by the AVX2+FMA body in dot_avx2_amd64.s) — an explicit
+//     fast mode with its own determinism contract (wide-vs-wide bitwise
+//     equality at any GOMAXPROCS and any batch B), reachable only
+//     through the Wide* kernels.
+//
+// A KernelChain names one of them. SetKernelChain moves the process
+// default; per-call-site selection (lstm/gru RunOptions.Chain,
+// serve.Config.Chain) resolves through ResolveChain so ChainAuto
+// follows the process default. Forcing ChainGeneric additionally pins
+// both chains to their pure-Go bodies, which is how CI exercises the
+// reference twins on any runner CPU.
+
+// KernelChain selects which accumulation chain the dispatching kernels
+// run. The zero value is ChainAuto.
+type KernelChain uint32
+
+const (
+	// ChainAuto defers to the process default (ActiveKernelChain).
+	ChainAuto KernelChain = iota
+	// ChainGeneric is the canonical 16-lane chain through its pure-Go
+	// body, with assembly disabled for the wide chain too — the
+	// any-CPU reference configuration.
+	ChainGeneric
+	// ChainSSE2 is the canonical 16-lane chain through the SSE2 body
+	// (bitwise identical to ChainGeneric; pure-Go off amd64).
+	ChainSSE2
+	// ChainAVX2 is the wide 32-lane FMA chain: the AVX2+FMA body when
+	// the CPU supports it, the pure-Go wide twin otherwise.
+	ChainAVX2
+)
+
+// String returns the canonical lower-case chain name, as accepted by
+// ParseKernelChain and the MOBILSTM_KERNEL_CHAIN environment variable.
+func (c KernelChain) String() string {
+	switch c {
+	case ChainAuto:
+		return "auto"
+	case ChainGeneric:
+		return "generic"
+	case ChainSSE2:
+		return "sse2"
+	case ChainAVX2:
+		return "avx2"
+	}
+	return "unknown"
+}
+
+// ParseKernelChain maps a chain name ("auto", "generic", "sse2",
+// "avx2") to its KernelChain. The second result is false for anything
+// else, including the empty string.
+func ParseKernelChain(s string) (KernelChain, bool) {
+	switch s {
+	case "auto":
+		return ChainAuto, true
+	case "generic":
+		return ChainGeneric, true
+	case "sse2":
+		return ChainSSE2, true
+	case "avx2":
+		return ChainAVX2, true
+	}
+	return ChainAuto, false
+}
+
+// KernelChainEnv is the environment variable consulted once at package
+// init: a valid chain name forces the process default, anything else is
+// ignored. CI's chain matrix sets it to run the same test body once per
+// chain on whatever silicon the runner has.
+const KernelChainEnv = "MOBILSTM_KERNEL_CHAIN"
+
+// activeChain holds the resolved process-default chain — never
+// ChainAuto. Reads are a single atomic load on the dot dispatch path,
+// which x86 serves as a plain MOV.
+var activeChain atomic.Uint32
+
+func init() {
+	activeChain.Store(uint32(chainFromEnv(os.Getenv(KernelChainEnv))))
+}
+
+// chainFromEnv maps the MOBILSTM_KERNEL_CHAIN value to the initial
+// process default: a valid explicit chain wins, anything else — empty,
+// misspelled, or "auto" — falls back to the canonical default. Invalid
+// values are ignored rather than fatal so a stale CI matrix entry can
+// never change numerics silently *and* crash the binary.
+func chainFromEnv(v string) KernelChain {
+	if forced, ok := ParseKernelChain(v); ok && forced != ChainAuto {
+		return forced
+	}
+	return ChainSSE2 // resolves to the pure-Go canonical body off amd64
+}
+
+// SetKernelChain sets the process-default chain and returns the
+// effective selection: ChainAuto restores the canonical default
+// (ChainSSE2), everything else sticks as asked — including ChainAVX2 on
+// a CPU without AVX2, where the wide chain simply runs through its
+// pure-Go twin (see dotRowWide). The default is consulted wherever a
+// caller passes ChainAuto; call sites that pinned an explicit chain are
+// unaffected, except that ChainGeneric also forces the assembly bodies
+// off process-wide (the reference configuration is all-Go).
+//
+// The switch is atomic but not synchronized against in-flight kernels;
+// set it at startup or between runs, as the serve engine builder and
+// the tests do.
+func SetKernelChain(c KernelChain) KernelChain {
+	if c == ChainAuto {
+		c = ChainSSE2
+	}
+	activeChain.Store(uint32(c))
+	return c
+}
+
+// ActiveKernelChain returns the current process-default chain.
+func ActiveKernelChain() KernelChain {
+	return KernelChain(activeChain.Load())
+}
+
+// ResolveChain maps ChainAuto to the process default and returns every
+// other selection unchanged. lstm/gru resolve RunOptions.Chain through
+// this exactly once per Run/RunBatch call.
+func ResolveChain(c KernelChain) KernelChain {
+	if c == ChainAuto {
+		return ActiveKernelChain()
+	}
+	return c
+}
+
+// forceGenericBody reports whether assembly bodies are disabled
+// process-wide (the ChainGeneric reference configuration). Both dotRow
+// and dotRowWide consult it, so forced-generic CI runs exercise the
+// pure-Go twins of *both* chains regardless of runner CPU.
+func forceGenericBody() bool {
+	return KernelChain(activeChain.Load()) == ChainGeneric
+}

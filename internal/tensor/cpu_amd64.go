@@ -1,0 +1,44 @@
+//go:build amd64
+
+package tensor
+
+// Stdlib-only CPUID probe for the wide-chain dispatch. The wide chain
+// needs AVX2 and FMA instructions *and* OS-saved YMM state: a kernel
+// that does not context-switch the upper register halves (XCR0 bits 1-2
+// clear) would silently corrupt them, so the probe checks OSXSAVE +
+// XGETBV exactly like runtime·cpuinit does. golang.org/x/sys/cpu is the
+// usual home for this; the repo is stdlib-only, and the probe is four
+// CPUID leaves.
+
+// cpuid and xgetbv0 are implemented in cpu_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// cpuFeatures is filled once at init; all later reads are immutable.
+var cpuFeatures = probeCPU()
+
+func probeCPU() CPUInfo {
+	var info CPUInfo
+	info.SSE2 = true // amd64 baseline
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return info
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	info.FMA = ecx1&(1<<12) != 0
+	osxsave := ecx1&(1<<27) != 0
+	info.AVX = ecx1&(1<<28) != 0
+	if osxsave {
+		xcr0, _ := xgetbv0()
+		info.OSYMM = xcr0&0x6 == 0x6 // XMM + YMM state saved
+	}
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		info.AVX2 = ebx7&(1<<5) != 0
+	}
+	return info
+}
+
+// hasWideBody reports whether the AVX2+FMA assembly body is usable on
+// this CPU. dotRowWide falls back to the pure-Go wide twin otherwise.
+var hasWideBody = cpuFeatures.AVX && cpuFeatures.AVX2 && cpuFeatures.FMA && cpuFeatures.OSYMM

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Off amd64 there is no feature probe: both chains run their pure-Go
+// bodies and every capability bit stays false.
+var cpuFeatures CPUInfo
+
+// hasWideBody: no AVX2 assembly body exists off amd64.
+const hasWideBody = false

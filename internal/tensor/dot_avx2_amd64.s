@@ -1,0 +1,77 @@
+// func dotAVX2(row, x *float32, n int) float32
+//
+// AVX2+FMA body of the wide dot-product chain. The chain is defined by
+// dotRowWideGeneric in kernel_wide.go and must be matched bitwise on
+// the pinned corpora: four packed accumulators A..D hold the thirty-two
+// 32-strided lane sums (Y0..Y3, one group of eight FMA lanes each),
+// folded lanewise as (A+B)+(C+D), halved lanewise (VEXTRACTF128 — lane
+// k plus lane k+4), then scalar as ((m0+m1)+m2)+m3, with an FMA serial
+// remainder. VFMADD231PS rounds a*b+acc once per lane, exactly the
+// fma32 sequence of the Go twin. VZEROUPPER runs before the first
+// legacy-SSE instruction so the scalar fold pays no state transition.
+
+#include "textflag.h"
+
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ   row+0(FP), SI
+	MOVQ   x+8(FP), DI
+	MOVQ   n+16(FP), CX
+	VXORPS Y0, Y0, Y0        // A: lanes 0..7
+	VXORPS Y1, Y1, Y1        // B: lanes 8..15
+	VXORPS Y2, Y2, Y2        // C: lanes 16..23
+	VXORPS Y3, Y3, Y3        // D: lanes 24..31
+	MOVQ   CX, BX
+	SHRQ   $5, BX            // BX = number of full 32-float blocks
+	JZ     fold
+
+loop32:
+	VMOVUPS     (SI), Y4
+	VMOVUPS     (DI), Y5
+	VFMADD231PS Y5, Y4, Y0   // A += row*x, rounded once
+	VMOVUPS     32(SI), Y6
+	VMOVUPS     32(DI), Y7
+	VFMADD231PS Y7, Y6, Y1
+	VMOVUPS     64(SI), Y8
+	VMOVUPS     64(DI), Y9
+	VFMADD231PS Y9, Y8, Y2
+	VMOVUPS     96(SI), Y10
+	VMOVUPS     96(DI), Y11
+	VFMADD231PS Y11, Y10, Y3
+	ADDQ        $128, SI
+	ADDQ        $128, DI
+	DECQ        BX
+	JNZ         loop32
+
+fold:
+	// Lanewise (A+B) + (C+D), halve lanes, then the canonical scalar
+	// fold ((m0+m1)+m2)+m3 — identical shuffle pattern to dotSSE.
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1  // lanes 4..7
+	VZEROUPPER
+	ADDPS        X1, X0      // m[k] = l[k] + l[k+4]
+	MOVAPS       X0, X1
+	SHUFPS       $0x55, X1, X1 // broadcast lane 1
+	MOVAPS       X0, X2
+	SHUFPS       $0xAA, X2, X2 // broadcast lane 2
+	MOVAPS       X0, X3
+	SHUFPS       $0xFF, X3, X3 // broadcast lane 3
+	ADDSS        X1, X0      // m0+m1
+	ADDSS        X2, X0      // +m2
+	ADDSS        X3, X0      // +m3
+	ANDQ         $31, CX
+	JZ           done
+
+tail:
+	MOVSS       (SI), X4
+	MOVSS       (DI), X5
+	VFMADD231SS X5, X4, X0   // s = row*x + s, rounded once
+	ADDQ        $4, SI
+	ADDQ        $4, DI
+	DECQ        CX
+	JNZ         tail
+
+done:
+	MOVSS X0, ret+24(FP)
+	RET

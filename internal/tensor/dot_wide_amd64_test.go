@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"mobilstm/internal/rng"
+)
+
+// TestDotAVX2MatchesGeneric holds the assembly body itself to the Go
+// twin on cancellation-heavy corpora, bitwise. Skipped (not failed)
+// where the probe reports no usable AVX2+FMA, exactly as the CI chain
+// matrix expects on lowest-common-denominator runners.
+func TestDotAVX2MatchesGeneric(t *testing.T) {
+	if !HasAVX2FMA() {
+		t.Skipf("no AVX2+FMA body on this CPU (%s)", CPU())
+	}
+	r := rng.New(0x72)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		row := make([]float32, n)
+		x := make([]float32, n)
+		for i := range row {
+			// Wildly varying magnitudes: any reassociation — or a
+			// second rounding where the chain fuses — surfaces as a
+			// bit difference.
+			row[i] = float32(r.Norm() * r.Float64() * 1e6)
+			x[i] = float32(r.Norm() / (1 + r.Float64()*1e5))
+		}
+		got := dotAVX2(&row[0], &x[0], n)
+		want := dotRowWideGeneric(row, x)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("trial %d n=%d: dotAVX2=%v dotRowWideGeneric=%v", trial, n, got, want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// dotRowWide on architectures without an AVX2 body is the wide chain
+// definition itself (kernel_wide.go's dotRowWideGeneric).
+func dotRowWide(row, x []float32) float32 { return dotRowWideGeneric(row, x) }

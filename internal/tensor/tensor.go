@@ -16,6 +16,12 @@
 //     over a size-gated fork-join pool, bitwise identical to the
 //     serial kernels at any GOMAXPROCS.
 //
+// A second, explicitly selected accumulation chain — the wide 32-lane
+// FMA chain (kernel_wide.go, AVX2+FMA assembly on capable amd64) —
+// backs the Wide* kernel family (wide.go) behind the KernelChain
+// fast-mode switch (chain.go). It carries its own wide-vs-wide bitwise
+// contract and is not interchangeable with the canonical chain.
+//
 // The package is deliberately small and allocation-conscious: LSTM
 // inference is a long sequence of GEMV/GEMM calls over the same shapes, so
 // every operation writes into a caller-provided destination and no kernel
